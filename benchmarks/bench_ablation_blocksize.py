@@ -1,0 +1,13 @@
+"""Ablation: block-size selection (regenerates the Section 6.1 choices).
+
+LU's block must satisfy divisibility (k, p-1) and the SRAM bound on the
+Eq. 4 split; FW's tile is bounded by the 2 b^2-word SRAM stage and then
+capped where the processor kernel stays cache-resident.
+"""
+
+from repro.experiments import ablation_blocksize
+
+
+def test_ablation_block_size_selection(run_experiment):
+    result = run_experiment(ablation_blocksize)
+    assert result.data["fw_choice"] == 256

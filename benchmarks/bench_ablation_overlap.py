@@ -1,0 +1,12 @@
+"""Ablation: computation/communication overlap on vs off.
+
+Quantifies the Section 4.2/4.3 refinement the paper's partition
+equations encode: staging and network time are placed on the CPU-side
+serial path precisely because the FPGA can overlap them.
+"""
+
+from repro.experiments import ablation_overlap
+
+
+def test_ablation_overlap(run_experiment):
+    run_experiment(ablation_overlap)

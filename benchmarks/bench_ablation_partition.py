@@ -1,0 +1,11 @@
+"""Ablation: the naive T_p = T_f split (prior work [22]) vs Equation 4.
+
+On the XD1 the transfer terms are small and both rules nearly coincide;
+on a bandwidth-starved variant the transfer-aware split wins clearly.
+"""
+
+from repro.experiments import ablation_partition
+
+
+def test_ablation_partition_rule(run_experiment):
+    run_experiment(ablation_partition)

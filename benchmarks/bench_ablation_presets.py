@@ -1,0 +1,12 @@
+"""Ablation: design-model predictions across the Section 3 machines.
+
+Exercises the model's Section 4.5 use-case -- predicting application
+performance from machine parameters -- over XD1, XT3+DRC, SRC MAP and
+SGI RASC presets.
+"""
+
+from repro.experiments import ablation_presets
+
+
+def test_ablation_machine_presets(run_experiment):
+    run_experiment(ablation_presets)

@@ -1,0 +1,14 @@
+"""Extension benchmark: the design model applied to a third application.
+
+Distributed hybrid ring matrix multiplication (the workload of the
+authors' prior ICPADS 2006 paper), split by Equation (2).  With no
+serial panel path, the hybrid approaches the sum of the baselines --
+bracketing the paper's LU (~70-80%) and FW (~96%) results from above.
+"""
+
+from repro.experiments import ext_ring_mm
+
+
+def test_extension_ring_mm(run_experiment):
+    result = run_experiment(ext_ring_mm)
+    assert result.data["hybrid"] > result.data["cpu_only"] + result.data["fpga_only"] * 0.9

@@ -1,0 +1,14 @@
+"""Extension benchmark: chassis-size scaling.
+
+The paper evaluates a single 6-node chassis; this study runs FW weak
+scaling and LU strong scaling across node counts, with the Section 4.5
+predictions as upper bounds.
+"""
+
+from repro.experiments import ext_scaling
+
+
+def test_extension_scaling(run_experiment):
+    result = run_experiment(ext_scaling)
+    fw_points = result.data["fw"]
+    assert fw_points[-1].gflops > fw_points[0].gflops

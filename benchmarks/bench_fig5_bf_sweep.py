@@ -1,0 +1,15 @@
+"""Figure 5: latency of one 3000 x 3000 block multiplication vs b_f.
+
+Sweeps the FPGA's row share of the cooperative block product on 5
+worker nodes (node 0 streams the stripes) at true stripe granularity.
+Paper shape: latency falls as the FPGA takes load, bottoms out near the
+Eq. 4 balance point, then climbs as the FPGA overloads.
+"""
+
+from repro.experiments import fig5_bf_sweep
+
+
+def test_fig5_block_mm_latency_vs_bf(run_experiment):
+    result = run_experiment(fig5_bf_sweep)
+    series = result.data["series"]
+    assert series.is_u_shaped()

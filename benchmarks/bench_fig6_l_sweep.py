@@ -1,0 +1,12 @@
+"""Figure 6: latency of the 0th LU iteration vs the load-balance l.
+
+Paper shape: latency falls as l grows from 0 (workers starve between
+panel routines), reaches the Eq. 5 operating point, and is essentially
+flat beyond it (the owner's extra send bursts are cheap).
+"""
+
+from repro.experiments import fig6_l_sweep
+
+
+def test_fig6_iteration_latency_vs_l(run_experiment):
+    run_experiment(fig6_l_sweep)

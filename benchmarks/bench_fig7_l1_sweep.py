@@ -1,0 +1,13 @@
+"""Figure 7: latency of one FW iteration vs l1 (n = 18432, b = 256).
+
+Paper shape: minimum at l1 = 2; at l1 = 1 the FPGA overloads; for
+l1 >= 3 the processor is the bottleneck and even the FPGA-only design
+(l1 = 0) is faster than those splits.
+"""
+
+from repro.experiments import fig7_l1_sweep
+
+
+def test_fig7_iteration_latency_vs_l1(run_experiment):
+    result = run_experiment(fig7_l1_sweep)
+    assert result.data["series"].argmin() == 2

@@ -1,0 +1,12 @@
+"""Figure 8: LU GFLOPS vs the number of blocks n/b (b = 3000).
+
+Paper shape: sustained GFLOPS rise with n/b because opMM -- the only
+hybrid task -- accounts for a growing share of the work.
+"""
+
+from repro.experiments import fig8_lu_scaling
+
+
+def test_fig8_lu_gflops_vs_nb(run_experiment):
+    result = run_experiment(fig8_lu_scaling)
+    assert result.data["series"].is_monotone_increasing()

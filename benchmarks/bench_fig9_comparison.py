@@ -1,0 +1,20 @@
+"""Figure 9: hybrid designs vs Processor-only and FPGA-only baselines.
+
+Paper values on 6 XD1 nodes -- LU (n = 30000): hybrid 20 GFLOPS, 1.3x /
+2x over the baselines, ~80% of their sum, ~86% of the model prediction.
+FW (n = 92160): hybrid 6.6 GFLOPS, 5.8x / 1.15x, >95% of the sum, ~96%
+of prediction.
+"""
+
+from repro.experiments import fig9_fw, fig9_lu
+
+
+def test_fig9_lu_comparison(run_experiment):
+    result = run_experiment(fig9_lu)
+    assert result.data["hybrid"] > result.data["cpu_only"]
+    assert result.data["hybrid"] > result.data["fpga_only"]
+
+
+def test_fig9_fw_comparison(run_experiment):
+    result = run_experiment(fig9_fw)
+    assert abs(result.data["hybrid"] - 6.6) / 6.6 < 0.05

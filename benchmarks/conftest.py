@@ -1,0 +1,26 @@
+"""Shared benchmark plumbing.
+
+Every benchmark wraps one experiment from :mod:`repro.experiments`,
+times it once (the experiments are deterministic simulations -- there
+is no run-to-run noise worth averaging), asserts its reproduction
+checks, and prints the reproduced table/figure so that
+``pytest benchmarks/ --benchmark-only -s`` emits the full EXPERIMENTS.md
+source material.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Time an experiment once and enforce its reproduction checks."""
+
+    def _run(fn):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        print()
+        print(result.text)
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"{result.id}: reproduction checks failed: {failed}"
+        return result
+
+    return _run

@@ -1,0 +1,94 @@
+"""Capacity planning with the design model (the Section 4.5 use-case).
+
+Before porting an application to a reconfigurable computing system you
+want to know: which machine, how many nodes, and is the hybrid design
+worth it over CPU-only?  The design model answers all three from the
+Section 4.1 parameters alone -- no simulation required -- and this
+example cross-checks two of the predictions against the simulator.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import DesignModel, FloydWarshallDesign, FwDesign, LuDesign, MatrixMultiplyDesign
+from repro.analysis import line_chart, sweep, table
+from repro.machine import ALL_PRESETS, cray_xd1
+
+
+def machine_survey() -> None:
+    """Predicted hybrid GFLOPS for both applications on every preset."""
+    rows = []
+    for factory in ALL_PRESETS.values():
+        spec = factory()
+        mm = MatrixMultiplyDesign.for_device(spec.node.fpga.device)
+        fwd = FloydWarshallDesign.for_device(spec.node.fpga.device)
+        lu_pred = (
+            f"{DesignModel(spec.parameters('dgemm', mm)).plan_lu(30000, 3000, mm.k).prediction.gflops:.1f}"
+            if spec.p >= 2
+            else "n/a"
+        )
+        fw_n = 256 * spec.p * 60  # keep 60 block-columns per node
+        fw_plan = DesignModel(spec.parameters("fw", fwd)).plan_fw(fw_n, 256, fwd.k)
+        rows.append([
+            spec.name,
+            spec.p,
+            f"{mm.k} PEs @ {mm.freq_hz / 1e6:.0f} MHz",
+            lu_pred,
+            f"{fw_plan.prediction.gflops:.2f}",
+            f"{fw_plan.partition.l1}:{fw_plan.partition.l2}",
+        ])
+    print(table(
+        ["machine", "p", "MM design", "LU GFLOPS", "FW GFLOPS", "FW split"],
+        rows,
+        title="Predicted hybrid performance across machines (no simulation)",
+    ))
+
+
+def node_count_scaling() -> None:
+    """How does the FW design scale with chassis size?"""
+
+    def predicted(p: float) -> float:
+        spec = cray_xd1(p=int(p))
+        fwd = FloydWarshallDesign.for_device(spec.node.fpga.device)
+        n = 256 * int(p) * 60
+        model = DesignModel(spec.parameters("fw", fwd))
+        return model.plan_fw(n, 256, fwd.k).prediction.gflops
+
+    series = sweep("predicted FW GFLOPS", [2, 4, 6, 8, 12], predicted)
+    print()
+    print(line_chart(
+        [series],
+        "FW hybrid GFLOPS vs node count (fixed 60 block-columns per node)",
+        x_label="p (nodes)",
+        y_label="GFLOPS",
+        height=10,
+    ))
+
+
+def prediction_vs_simulation() -> None:
+    """Validate two predictions against the discrete-event simulator."""
+    spec = cray_xd1()
+    rows = []
+    lu = LuDesign(spec, n=30000, b=3000)
+    rows.append([
+        "LU n=30000",
+        f"{lu.plan.prediction.gflops:.2f}",
+        f"{lu.simulate().gflops:.2f}",
+    ])
+    fw = FwDesign(spec, n=92160, b=256)
+    rows.append([
+        "FW n=92160",
+        f"{fw.plan.prediction.gflops:.2f}",
+        f"{fw.simulate().gflops:.2f}",
+    ])
+    print()
+    print(table(
+        ["application", "predicted GFLOPS", "simulated GFLOPS"],
+        rows,
+        title="Prediction vs simulation (paper: designs reach >85% of prediction)",
+    ))
+
+
+if __name__ == "__main__":
+    machine_survey()
+    node_count_scaling()
+    prediction_vs_simulation()

@@ -1,0 +1,83 @@
+"""End-to-end functional validation of the distributed schedules.
+
+The timing simulations say *when* things happen; this example shows the
+same schedules computing *correct numbers*: the distributed block LU
+and blocked Floyd-Warshall run on small inputs with
+
+* physically partitioned per-node storage (a node only touches its own
+  blocks plus received messages),
+* the hybrid CPU/FPGA split inside every task, with the FPGA share
+  executed by the cycle-level PE-array models,
+* the Section 4.4 coordination protocol enforced by a guard that
+  raises on any write conflict, read-after-write hazard or ungranted
+  cross-device read.
+
+Outputs residuals / exact-match checks against scipy.
+
+Run:  python examples/functional_validation.py
+"""
+
+import numpy as np
+
+from repro import CoordinationGuard, distributed_block_lu, distributed_blocked_fw
+from repro.core.coordination import HazardError
+from repro.kernels import (
+    lu_residual,
+    max_abs_diff,
+    random_dd_matrix,
+    random_distance_matrix,
+    scipy_shortest_paths,
+)
+
+
+def validate_lu() -> None:
+    rng = np.random.default_rng(2007)
+    a = random_dd_matrix(48, rng)
+    guard = CoordinationGuard(enforce=True)
+    result = distributed_block_lu(
+        a, b=12, p=4, b_f=8, k=4, use_hw_model=True, guard=guard
+    )
+    lower, upper = result.factors
+    print("Distributed hybrid LU, n=48, b=12, p=4, b_f=8 (FPGA rows on PE array):")
+    print(f"  ||L U - A|| / ||A||     = {lu_residual(a, result.lu):.2e}")
+    print(f"  task tallies            = {result.op_counts}")
+    print(f"  inter-node messages     = {result.messages}")
+    print(f"  coordination violations = {len(guard.violations)} (guard enforced)")
+    assert lu_residual(a, result.lu) < 1e-12
+
+
+def validate_fw() -> None:
+    rng = np.random.default_rng(2007)
+    d = random_distance_matrix(32, rng, density=0.35)
+    guard = CoordinationGuard(enforce=True)
+    result = distributed_blocked_fw(
+        d, b=8, p=4, l1=0, use_hw_model=True, hw_k=4, guard=guard
+    )
+    err = max_abs_diff(result.dist, scipy_shortest_paths(d))
+    print("\nDistributed hybrid Floyd-Warshall, n=32, b=8, p=4 (FPGA array model):")
+    print(f"  max |ours - scipy|      = {err:.2e}")
+    print(f"  task tallies            = {result.op_counts}")
+    print(f"  device placement        = {result.device_ops}")
+    print(f"  pivot-block broadcasts  = {result.messages}")
+    assert err < 1e-12  # scipy may round intermediate sums differently
+
+
+def failure_injection() -> None:
+    """Show the coordination protocol is load-bearing: break it and the
+    guard catches the resulting hazard immediately."""
+    guard = CoordinationGuard(enforce=True)
+    guard.begin_write("dram0/A[0,1]", "cpu0")
+    print("\nFailure injection: FPGA reads a block the CPU is still writing...")
+    try:
+        guard.read("dram0/A[0,1]", "fpga0")
+    except HazardError as exc:
+        print(f"  guard raised as designed: {exc}")
+    else:
+        raise AssertionError("hazard was not detected")
+
+
+if __name__ == "__main__":
+    validate_lu()
+    validate_fw()
+    failure_injection()
+    print("\nAll functional validations passed.")

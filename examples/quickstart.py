@@ -1,0 +1,58 @@
+"""Quickstart: plan and run the paper's two hybrid designs.
+
+Builds the simulated 6-node Cray XD1, lets the design model make every
+decision (Eq. 4 partition, Eq. 5/6 load balance, Section 4.5
+prediction), runs the discrete-event schedules, and compares against
+the Processor-only and FPGA-only baselines -- the content of the
+paper's Figure 9.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FwDesign, LuDesign, cray_xd1
+from repro.analysis import bar_chart, percent
+
+def main() -> None:
+    spec = cray_xd1()  # 6 blades: Opteron 2.2 GHz + XC2VP50 each
+
+    # ----------------------------------------------------------- LU
+    lu = LuDesign(spec, n=30000, b=3000)
+    part, bal = lu.plan.partition, lu.plan.balance
+    print("LU decomposition (n = 30000, b = 3000)")
+    print(f"  Eq. 4 partition : b_p = {part.b_p} rows on CPU, b_f = {part.b_f} on FPGA")
+    print(f"  Eq. 5 balance   : l = {bal.l} opMMs per panel routine")
+    print(f"  predicted       : {lu.plan.prediction.gflops:.1f} GFLOPS")
+    cmp = lu.compare()
+    print(bar_chart(
+        ["Hybrid", "Processor-only", "FPGA-only"],
+        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops],
+        "  measured (GFLOPS):",
+        unit=" GFLOPS",
+    ))
+    print(f"  speedups: {cmp.speedup_vs_cpu:.2f}x vs CPU-only, "
+          f"{cmp.speedup_vs_fpga:.2f}x vs FPGA-only "
+          f"({percent(cmp.fraction_of_sum)} of their sum)")
+    print()
+
+    # ----------------------------------------------------------- FW
+    fw = FwDesign(spec, n=92160, b=256)
+    split = fw.plan.partition
+    print("Floyd-Warshall all-pairs shortest paths (n = 92160, b = 256)")
+    print(f"  Eq. 6 split : l1 = {split.l1} tasks/phase on CPU, l2 = {split.l2} on FPGA")
+    print(f"  predicted   : {fw.plan.prediction.gflops:.2f} GFLOPS")
+    fcmp = fw.compare()
+    print(bar_chart(
+        ["Hybrid", "Processor-only", "FPGA-only"],
+        [fcmp.hybrid.gflops, fcmp.cpu_only.gflops, fcmp.fpga_only.gflops],
+        "  measured (GFLOPS):",
+        unit=" GFLOPS",
+    ))
+    print(f"  speedups: {fcmp.speedup_vs_cpu:.2f}x vs CPU-only, "
+          f"{fcmp.speedup_vs_fpga:.2f}x vs FPGA-only "
+          f"({percent(fcmp.fraction_of_sum)} of their sum)")
+    print(f"  {percent(fcmp.fraction_of_predicted)} of the model prediction "
+          f"(the paper reports ~96%)")
+
+
+if __name__ == "__main__":
+    main()

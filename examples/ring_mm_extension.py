@@ -1,0 +1,75 @@
+"""Extension: applying the design model to a third application.
+
+The paper's model targets "a class of applications" -- matrix
+computations -- with LU and Floyd-Warshall as the worked examples.  This
+example applies the same methodology to a distributed ring-allgather
+``C = A x B`` (the workload of the authors' earlier ICPADS 2006 paper):
+
+1. task identification: p identical ring steps per node, each one block
+   gemm -- partitionable, no serial panel path;
+2. system characterisation: the same XD1 parameters;
+3. partitioning: Equation (2) splits each step's rows m_f : m_p;
+4. overlap: B-panel staging and ring traffic ride the FPGA's compute.
+
+Because nothing serialises the nodes (unlike LU's panel chain), the
+hybrid should approach the *sum* of the two baselines -- the model's
+best case.  The functional executor then proves the exact same schedule
+computes correct products.
+
+Run:  python examples/ring_mm_extension.py
+"""
+
+import numpy as np
+
+from repro.analysis import bar_chart, percent, table
+from repro.apps.mm import MmDesign, distributed_ring_mm
+from repro.core import CoordinationGuard
+from repro.machine import cray_xd1
+
+
+def timing_study() -> None:
+    design = MmDesign(cray_xd1(), n=30000)
+    plan = design.plan
+    print(table(
+        ["decision", "value"],
+        [
+            ["panel rows per node (r)", plan.r],
+            ["m_f (FPGA rows per step)", plan.m_f],
+            ["m_f exact (Eq. 2)", f"{plan.m_f_exact:.1f}"],
+            ["T_p / step", f"{plan.t_p:.1f} s"],
+            ["T_f / step", f"{plan.t_f:.1f} s"],
+            ["T_mem / step", f"{plan.t_mem:.2f} s"],
+            ["T_net / step", f"{plan.t_net:.2f} s"],
+            ["SRAM working set", f"{plan.sram_words * 8 / 2**20:.1f} MB"],
+        ],
+        title="Ring MM plan (n = 30000, p = 6, Equation 2)",
+    ))
+    cmp = design.compare()
+    print()
+    print(bar_chart(
+        ["Hybrid", "Processor-only", "FPGA-only"],
+        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops],
+        "Measured GFLOPS:",
+        unit=" GFLOPS",
+    ))
+    print(f"hybrid = {percent(cmp.fraction_of_sum)} of the baseline sum "
+          "(LU managed ~70%, FW ~96%; MM has no serial path to lose to)")
+
+
+def functional_check() -> None:
+    rng = np.random.default_rng(42)
+    a = rng.standard_normal((48, 48))
+    b = rng.standard_normal((48, 48))
+    guard = CoordinationGuard(enforce=True)
+    res = distributed_ring_mm(a, b, p=4, m_f=8, k=4, use_hw_model=True, guard=guard)
+    err = np.abs(res.product - a @ b).max()
+    print(f"\nFunctional ring MM (n=48, p=4, PE-array FPGA shares):")
+    print(f"  max |C - A@B| = {err:.2e}")
+    print(f"  ring messages = {res.messages}")
+    print(f"  guard clean   = {guard.clean}")
+    assert err < 1e-11
+
+
+if __name__ == "__main__":
+    timing_study()
+    functional_check()

@@ -1,0 +1,41 @@
+"""Analysis utilities: sweep series, ASCII figures, report tables."""
+
+from .bottleneck import BottleneckReport, LaneBreakdown, analyse_trace
+from .export import (
+    rows_to_csv,
+    series_from_csv,
+    series_from_json,
+    series_to_csv,
+    series_to_json,
+)
+from .figures import bar_chart, line_chart
+from .report import comparison_row, percent, table
+from .scaling import (
+    ScalingPoint,
+    fw_weak_scaling,
+    lu_strong_scaling,
+    mm_weak_scaling,
+)
+from .series import Series, sweep
+
+__all__ = [
+    "BottleneckReport",
+    "LaneBreakdown",
+    "ScalingPoint",
+    "Series",
+    "analyse_trace",
+    "bar_chart",
+    "comparison_row",
+    "line_chart",
+    "percent",
+    "rows_to_csv",
+    "series_from_csv",
+    "series_from_json",
+    "series_to_csv",
+    "series_to_json",
+    "sweep",
+    "table",
+    "fw_weak_scaling",
+    "lu_strong_scaling",
+    "mm_weak_scaling",
+]

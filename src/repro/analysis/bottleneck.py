@@ -1,0 +1,120 @@
+"""Trace-driven bottleneck analysis.
+
+Explains *where the time goes* in a simulated run: per-lane busy/idle
+breakdown, activity-class decomposition of the CPU lanes (compute vs
+MPI vs staging), and the binding resource.  This is the tool behind the
+EXPERIMENTS.md discussion of why the LU hybrid lands below the
+Section 4.5 prediction (panel serialisation and end-of-iteration
+backlogs show up as CPU idle on the worker lanes) while FW sits at ~96%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Trace
+from .report import percent, table
+
+__all__ = ["LaneBreakdown", "BottleneckReport", "analyse_trace"]
+
+#: Label prefixes -> activity classes on cpu lanes.
+_CPU_CLASSES = (
+    ("mpi:", "communication"),
+    ("stage", "staging"),
+    ("opMS", "compute"),
+    ("op", "compute"),
+    ("gemm", "compute"),
+    ("dgetrf", "compute"),
+)
+
+
+def _classify(label: str) -> str:
+    for prefix, cls in _CPU_CLASSES:
+        if label.startswith(prefix):
+            return cls
+    return "compute"
+
+
+@dataclass
+class LaneBreakdown:
+    """Time decomposition of one trace lane over the makespan."""
+
+    lane: str
+    busy: float
+    idle: float
+    by_class: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilisation(self) -> float:
+        total = self.busy + self.idle
+        return self.busy / total if total > 0 else 0.0
+
+
+@dataclass
+class BottleneckReport:
+    """Whole-run analysis."""
+
+    makespan: float
+    lanes: list[LaneBreakdown]
+    binding_lane: str  # the busiest lane -- the resource to optimise next
+
+    def lane(self, name: str) -> LaneBreakdown:
+        for lb in self.lanes:
+            if lb.lane == name:
+                return lb
+        raise KeyError(f"no lane {name!r} in report; have {[l.lane for l in self.lanes]}")
+
+    def mean_utilisation(self, prefix: str) -> float:
+        """Average utilisation over lanes whose name starts with prefix."""
+        matching = [lb for lb in self.lanes if lb.lane.startswith(prefix)]
+        if not matching:
+            return 0.0
+        return sum(lb.utilisation for lb in matching) / len(matching)
+
+    def render(self) -> str:
+        """Human-readable table of the breakdown."""
+        rows = []
+        for lb in self.lanes:
+            classes = ", ".join(
+                f"{cls} {percent(t / self.makespan)}"
+                for cls, t in sorted(lb.by_class.items(), key=lambda kv: -kv[1])
+                if t > 0
+            )
+            rows.append([lb.lane, f"{lb.busy:.2f}", percent(lb.utilisation), classes])
+        out = table(
+            ["lane", "busy (s)", "utilisation", "activity breakdown"],
+            rows,
+            title=f"Bottleneck analysis (makespan {self.makespan:.2f} s)",
+        )
+        return out + f"\nbinding resource: {self.binding_lane}"
+
+
+def analyse_trace(trace: Optional[Trace], makespan: Optional[float] = None) -> BottleneckReport:
+    """Decompose a run trace into per-lane busy/idle and activity classes.
+
+    Overlapping intervals within a lane (shared lanes like ``dram{i}``)
+    are merged for the busy total; class attribution uses raw durations
+    (so classes can over-count on shared lanes, which is fine for
+    ranking).
+    """
+    if trace is None or len(trace) == 0:
+        raise ValueError("trace is empty; run the simulation with trace=True")
+    span = trace.makespan() if makespan is None else makespan
+    lanes = []
+    for lane_name in trace.lanes():
+        busy = trace.busy_time(lane_name)
+        by_class: dict[str, float] = {}
+        for iv in trace.by_category(lane_name):
+            if lane_name.startswith("mpi"):
+                cls = "communication"
+            elif lane_name.startswith("cpu"):
+                cls = _classify(iv.label)
+            else:
+                cls = lane_name.rstrip("0123456789->")
+            by_class[cls] = by_class.get(cls, 0.0) + iv.duration
+        lanes.append(
+            LaneBreakdown(lane=lane_name, busy=busy, idle=max(span - busy, 0.0), by_class=by_class)
+        )
+    binding = max(lanes, key=lambda lb: lb.busy).lane
+    return BottleneckReport(makespan=span, lanes=lanes, binding_lane=binding)

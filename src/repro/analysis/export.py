@@ -1,0 +1,87 @@
+"""Export sweep series and reports to CSV / JSON.
+
+Utility layer for downstream users who want to replot the reproduced
+figures with their own tooling: every benchmark's underlying data can
+round-trip through these functions (tested), without pulling in any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Sequence
+
+from .series import Series
+
+__all__ = ["series_to_csv", "series_from_csv", "series_to_json", "series_from_json", "rows_to_csv"]
+
+
+def series_to_csv(series: Sequence[Series]) -> str:
+    """One or more aligned series as CSV: ``x, <label1>, <label2>, ...``.
+
+    All series must share the same x values (the sweep convention).
+    """
+    if not series:
+        raise ValueError("no series to export")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ValueError(f"series {s.label!r} has different x values")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["x"] + [s.label for s in series])
+    for i, x in enumerate(xs):
+        writer.writerow([repr(x)] + [repr(s.ys[i]) for s in series])
+    return buf.getvalue()
+
+
+def series_from_csv(text: str) -> list[Series]:
+    """Inverse of :func:`series_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV") from None
+    if len(header) < 2 or header[0] != "x":
+        raise ValueError(f"not a series CSV (header {header!r})")
+    out = [Series(label) for label in header[1:]]
+    for row in reader:
+        if not row:
+            continue
+        x = float(row[0])
+        for s, cell in zip(out, row[1:]):
+            s.append(x, float(cell))
+    return out
+
+
+def series_to_json(series: Sequence[Series]) -> str:
+    """Series as a JSON document (labels preserved individually)."""
+    return json.dumps(
+        [{"label": s.label, "x": s.xs, "y": s.ys} for s in series], indent=2
+    )
+
+
+def series_from_json(text: str) -> list[Series]:
+    """Inverse of :func:`series_to_json`."""
+    data = json.loads(text)
+    out = []
+    for entry in data:
+        s = Series(entry["label"])
+        for x, y in zip(entry["x"], entry["y"]):
+            s.append(x, y)
+        out.append(s)
+    return out
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A plain table (e.g. an experiment's ``data['rows']``) as CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match {len(headers)} headers")
+        writer.writerow(list(row))
+    return buf.getvalue()

@@ -1,0 +1,87 @@
+"""Plain-text figure rendering for benchmark output.
+
+The benchmark harness prints every reproduced figure as an ASCII chart
+plus the underlying rows, so `pytest benchmarks/` output is the
+EXPERIMENTS.md source material without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .series import Series
+
+__all__ = ["line_chart", "bar_chart"]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def line_chart(
+    series: Sequence[Series], title: str, height: int = 12, width: int = 60,
+    y_label: str = "", x_label: str = ""
+) -> str:
+    """Render one or more curves as an ASCII scatter/line chart."""
+    all_x = [x for s in series for x in s.xs]
+    all_y = [y for s in series for y in s.ys]
+    if not all_x:
+        return f"{title}\n(no data)"
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for si, s in enumerate(series):
+        mark = markers[si % len(markers)]
+        for x, y in s:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = [title]
+    if y_label:
+        lines.append(f"  [{y_label}]")
+    label_w = max(len(_fmt(y_hi)), len(_fmt(y_lo)))
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = _fmt(y_hi)
+        elif r == height - 1:
+            tick = _fmt(y_lo)
+        else:
+            tick = ""
+        lines.append(f"{tick:>{label_w}} |{''.join(row)}|")
+    lines.append(f"{'':>{label_w}}  {_fmt(x_lo)}{'':{max(1, width - len(_fmt(x_lo)) - len(_fmt(x_hi)))}}{_fmt(x_hi)}")
+    if x_label:
+        lines.append(f"{'':>{label_w}}  [{x_label}]")
+    if len(series) > 1 or series[0].label:
+        legend = "   ".join(f"{markers[i % len(markers)]} = {s.label}" for i, s in enumerate(series))
+        lines.append(f"{'':>{label_w}}  {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], title: str, width: int = 46,
+    unit: str = ""
+) -> str:
+    """Render labelled horizontal bars (the Figure 9 comparison style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return f"{title}\n(no data)"
+    vmax = max(values) if max(values) > 0 else 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = [title]
+    for lab, val in zip(labels, values):
+        bar = "#" * max(1, int(val / vmax * width)) if val > 0 else ""
+        lines.append(f"{lab:>{label_w}} |{bar:<{width}} {_fmt(val)}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Tabular reporting helpers for benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["table", "comparison_row", "percent"]
+
+
+def percent(fraction: float) -> str:
+    """0.962 -> '96.2%'."""
+    return f"{100.0 * fraction:.1f}%"
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    cols = len(headers)
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row {row!r} does not match {cols} headers")
+    cells = [[str(h) for h in headers]] + [[_cell(v) for v in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.4g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def comparison_row(
+    name: str, paper_value: float, measured: float, note: str = ""
+) -> list[Any]:
+    """One EXPERIMENTS.md row: metric, paper, ours, ratio, note."""
+    ratio = measured / paper_value if paper_value else float("nan")
+    return [name, paper_value, measured, f"{ratio:.2f}x", note]

@@ -1,0 +1,79 @@
+"""Sweep series: the x/y data behind every figure reproduction.
+
+A :class:`Series` is an ordered set of (x, y) points with a label --
+what a figure plots.  :func:`sweep` builds one by evaluating a function
+over parameter values, which is how the benchmarks regenerate the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Series", "sweep"]
+
+
+@dataclass
+class Series:
+    """One labelled curve."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def __iter__(self):
+        return iter(zip(self.xs, self.ys))
+
+    @property
+    def y_min(self) -> float:
+        return min(self.ys)
+
+    @property
+    def y_max(self) -> float:
+        return max(self.ys)
+
+    def argmin(self) -> float:
+        """The x at which y is minimal."""
+        if not self.xs:
+            raise ValueError("empty series")
+        return self.xs[self.ys.index(min(self.ys))]
+
+    def argmax(self) -> float:
+        """The x at which y is maximal."""
+        if not self.xs:
+            raise ValueError("empty series")
+        return self.xs[self.ys.index(max(self.ys))]
+
+    def is_monotone_increasing(self, tol: float = 0.0) -> bool:
+        return all(b >= a - tol for a, b in zip(self.ys, self.ys[1:]))
+
+    def is_u_shaped(self) -> bool:
+        """Decreasing to an *interior* minimum, non-decreasing after --
+        Figure 5's and Figure 7's qualitative shape.  Monotone series are
+        not U-shaped (their minimum sits on the boundary)."""
+        if len(self.ys) < 3:
+            return False
+        i = self.ys.index(min(self.ys))
+        if i == 0 or i == len(self.ys) - 1:
+            return False
+        left = all(b <= a for a, b in zip(self.ys[: i + 1], self.ys[1 : i + 1]))
+        right = all(b >= a for a, b in zip(self.ys[i:], self.ys[i + 1 :]))
+        return left and right
+
+
+def sweep(
+    label: str, values: Sequence[float], fn: Callable[[float], float]
+) -> Series:
+    """Evaluate ``fn`` over ``values``; returns the resulting curve."""
+    series = Series(label)
+    for v in values:
+        series.append(v, fn(v))
+    return series

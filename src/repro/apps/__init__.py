@@ -1,0 +1,6 @@
+"""The paper's two example applications (Section 5) plus the extension
+application (ring matrix multiplication, exercising Equation 2)."""
+
+from . import fw, lu, mm
+
+__all__ = ["fw", "lu", "mm"]

@@ -1,0 +1,92 @@
+"""Top-level facade for the Floyd-Warshall application design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core.model import DesignModel, FwPlan
+from ...hw.fw_design import FloydWarshallDesign
+from ...machine.system import MachineSpec
+from .simulate import FwSimConfig, FwSimResult, simulate_fw
+
+__all__ = ["FwDesign", "FwComparison"]
+
+
+@dataclass
+class FwComparison:
+    """Hybrid vs the two baselines (the Figure 9 content for FW)."""
+
+    hybrid: FwSimResult
+    cpu_only: FwSimResult
+    fpga_only: FwSimResult
+    predicted_gflops: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.hybrid.gflops / self.cpu_only.gflops
+
+    @property
+    def speedup_vs_fpga(self) -> float:
+        return self.hybrid.gflops / self.fpga_only.gflops
+
+    @property
+    def fraction_of_sum(self) -> float:
+        return self.hybrid.gflops / (self.cpu_only.gflops + self.fpga_only.gflops)
+
+    @property
+    def fraction_of_predicted(self) -> float:
+        return self.hybrid.gflops / self.predicted_gflops
+
+
+class FwDesign:
+    """The hybrid Floyd-Warshall design on a given machine."""
+
+    def __init__(self, spec: MachineSpec, n: int, b: int, k: Optional[int] = None) -> None:
+        self.spec = spec
+        self.design = FloydWarshallDesign.for_device(spec.node.fpga.device, k=k)
+        self.k = self.design.k
+        self.params = spec.parameters("fw", self.design)
+        model = DesignModel(self.params)
+        self.plan: FwPlan = model.plan_fw(n, b, self.k)
+        self.n, self.b = n, b
+
+    @property
+    def ops_per_phase(self) -> int:
+        return self.plan.partition.per_phase_ops
+
+    def describe(self) -> str:
+        """The plan as a Section 6.1-style implementation-details table."""
+        from ...core.reporting import describe_fw_plan, describe_parameters
+
+        return describe_parameters(self.params) + "\n\n" + describe_fw_plan(self.plan)
+
+    def config(self, l1: Optional[int] = None, **over) -> FwSimConfig:
+        """A simulation config; defaults to the plan's l1/l2 split."""
+        l1 = self.plan.partition.l1 if l1 is None else l1
+        return FwSimConfig(
+            n=self.n, b=self.b, k=self.k, l1=l1, l2=self.ops_per_phase - l1, **over
+        )
+
+    def simulate(self, **over) -> FwSimResult:
+        """Simulate the planned hybrid design."""
+        return simulate_fw(self.spec, self.config(**over), design=self.design)
+
+    def simulate_cpu_only(self, **over) -> FwSimResult:
+        """The Processor-only baseline (every task on the CPU)."""
+        return simulate_fw(
+            self.spec, self.config(l1=self.ops_per_phase, **over), design=self.design
+        )
+
+    def simulate_fpga_only(self, **over) -> FwSimResult:
+        """The FPGA-only baseline (every task on the FPGA)."""
+        return simulate_fw(self.spec, self.config(l1=0, **over), design=self.design)
+
+    def compare(self, **over) -> FwComparison:
+        """Hybrid vs both baselines plus the model prediction (Figure 9)."""
+        return FwComparison(
+            hybrid=self.simulate(**over),
+            cpu_only=self.simulate_cpu_only(**over),
+            fpga_only=self.simulate_fpga_only(**over),
+            predicted_gflops=self.plan.prediction.gflops,
+        )

@@ -1,0 +1,192 @@
+"""Functional (real-numerics) execution of the distributed FW schedule.
+
+Runs the Section 5.2.3 schedule on small graphs with physically
+partitioned block-column storage, explicit pivot-block broadcasts, the
+l1/l2 whole-task split of every phase (l2 tasks optionally on the
+cycle-level FPGA array model), and coordination-guard checking.
+
+The result must equal the sequential blocked reference (and scipy's
+Floyd-Warshall) exactly up to floating-point associativity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...core.coordination import CoordinationGuard
+from ...hw.fw_design import FloydWarshallDesign
+from ...kernels.floyd_warshall import fwi
+from .layout import ColumnBlockLayout
+
+__all__ = ["FunctionalFwResult", "distributed_blocked_fw"]
+
+
+@dataclass
+class FunctionalFwResult:
+    """Outcome of a functional distributed FW run."""
+
+    dist: np.ndarray
+    op_counts: dict[str, int]
+    messages: int
+    device_ops: dict[str, int]  # how many ops ran on "cpu" vs "fpga"
+    guard: Optional[CoordinationGuard] = None
+    node_stores: list[dict] = field(repr=False, default_factory=list)
+
+
+def distributed_blocked_fw(
+    d: np.ndarray,
+    b: int,
+    p: int,
+    l1: Optional[int] = None,
+    use_hw_model: bool = False,
+    hw_k: int = 2,
+    guard: Optional[CoordinationGuard] = None,
+) -> FunctionalFwResult:
+    """Execute the hybrid FW schedule functionally on ``p`` virtual nodes.
+
+    ``l1`` of each node's per-phase operations run on the "CPU" (numpy
+    kernel) and the rest on the "FPGA" (cycle-level array when
+    ``use_hw_model``); ``l1`` defaults to half.  ``l1=0`` is the
+    FPGA-only baseline, ``l1=n/(bp)`` the Processor-only baseline.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    n = d.shape[0]
+    if d.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {d.shape}")
+    if n % b:
+        raise ValueError(f"b={b} must divide n={n}")
+    nb = n // b
+    layout = ColumnBlockLayout(nb, p)
+    per_phase = layout.cols_per_node
+    if l1 is None:
+        l1 = per_phase // 2
+    if not 0 <= l1 <= per_phase:
+        raise ValueError(f"l1={l1} outside [0, {per_phase}]")
+    design = FloydWarshallDesign(k=hw_k, freq_hz=1e6, device=None) if use_hw_model else None
+    if design is not None and b % hw_k:
+        raise ValueError(f"use_hw_model requires b={b} to be a multiple of k={hw_k}")
+
+    # Physically partitioned block-column storage.
+    store: list[dict[tuple[int, int], np.ndarray]] = [dict() for _ in range(p)]
+    for v in range(nb):
+        node = layout.owner_of_column(v)
+        for u in range(nb):
+            store[node][(u, v)] = d[u * b : (u + 1) * b, v * b : (v + 1) * b].copy()
+
+    messages = 0
+    counts = {"op1": 0, "op21": 0, "op22": 0, "op3": 0}
+    device_ops = {"cpu": 0, "fpga": 0}
+
+    def run_op(node: int, kind: str, dst, a_blk, b_blk, on_fpga: bool, reg: str,
+               read_regs: tuple = ()):
+        """One FWI operation on the chosen device, guard-checked.
+
+        ``read_regs`` names the regions whose current contents the
+        operation consumes (its own destination plus any same-node
+        operand blocks); the guard verifies each read was granted.
+        """
+        counts[kind] += 1
+        device_ops["fpga" if on_fpga else "cpu"] += 1
+        actor = f"fpga{node}" if on_fpga else f"cpu{node}"
+        if guard:
+            guard.read(reg, actor)  # the update reads the previous version
+            for rr in read_regs:
+                guard.read(rr, actor)
+            guard.begin_write(reg, actor)
+        if on_fpga and design is not None:
+            out, _cycles = design.run_tile(dst, a_blk, b_blk)
+        else:
+            out = fwi(dst, a_blk, b_blk)
+        if guard:
+            guard.end_write(reg, actor)
+            # The other device on the node may read the result next phase.
+            guard.grant(reg, f"cpu{node}" if on_fpga else f"fpga{node}")
+        return out
+
+    def bcast(src: int, block: np.ndarray, reg: str) -> np.ndarray:
+        """Broadcast a pivot block; returns the (shared, read-only) copy."""
+        nonlocal messages
+        messages += p - 1
+        if guard:
+            for w in range(p):
+                if w != src:
+                    guard.grant(reg, f"cpu{w}")
+                    guard.grant(reg, f"fpga{w}")
+        return block.copy()
+
+    for t in range(nb):
+        owner = layout.iteration_owner(t)
+        # Phase 0: op1 on D_tt at the owner, then broadcast.
+        reg_tt = f"dram{owner}/D[{t},{t}]"
+        store[owner][(t, t)] = run_op(
+            owner, "op1", store[owner][(t, t)], None, None, on_fpga=False, reg=reg_tt
+        )
+        d_tt = bcast(owner, store[owner][(t, t)], reg_tt)
+
+        # op21 phase: every node updates row-block t of its own columns
+        # (the pivot row), splitting ops l1:rest between CPU and FPGA.
+        for node in range(p):
+            ops = [q for q in layout.columns_of(node) if q != t]
+            for idx, q in enumerate(ops):
+                on_fpga = idx >= l1  # first l1 ops on the CPU
+                store[node][(t, q)] = run_op(
+                    node,
+                    "op21",
+                    store[node][(t, q)],
+                    d_tt,
+                    None,
+                    on_fpga=on_fpga,
+                    reg=f"dram{node}/D[{t},{q}]",
+                )
+        # op22: the whole pivot column belongs to the owner.
+        for q in range(nb):
+            if q == t:
+                continue
+            store[owner][(q, t)] = run_op(
+                owner,
+                "op22",
+                store[owner][(q, t)],
+                None,
+                d_tt,
+                on_fpga=False,
+                reg=f"dram{owner}/D[{q},{t}]",
+            )
+        # op3 phases: one block row per phase; each node needs the pivot
+        # column block D[u, t] (broadcast by the owner) and its own
+        # pivot-row blocks D[t, v] (updated in the op21 phase).
+        for u in range(nb):
+            if u == t:
+                continue
+            d_ut = bcast(owner, store[owner][(u, t)], f"dram{owner}/D[{u},{t}]")
+            for node in range(p):
+                ops = [v for v in layout.columns_of(node) if v != t]
+                for idx, v in enumerate(ops):
+                    on_fpga = idx >= l1
+                    d_tv = store[node][(t, v)]
+                    store[node][(u, v)] = run_op(
+                        node,
+                        "op3",
+                        store[node][(u, v)],
+                        d_ut,
+                        d_tv,
+                        on_fpga=on_fpga,
+                        reg=f"dram{node}/D[{u},{v}]",
+                        read_regs=(f"dram{node}/D[{t},{v}]",),
+                    )
+
+    out = np.empty((n, n))
+    for v in range(nb):
+        node = layout.owner_of_column(v)
+        for u in range(nb):
+            out[u * b : (u + 1) * b, v * b : (v + 1) * b] = store[node][(u, v)]
+    return FunctionalFwResult(
+        dist=out,
+        op_counts=counts,
+        messages=messages,
+        device_ops=device_ops,
+        guard=guard,
+        node_stores=store,
+    )

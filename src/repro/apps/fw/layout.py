@@ -1,0 +1,48 @@
+"""Data layout for the distributed Floyd-Warshall design (Section 5.2.3).
+
+The blocked distance matrix has ``n/b`` block columns; node ``P_i`` owns
+the contiguous range ``[i * n/(bp), (i+1) * n/(bp))`` of them.  The
+owner of iteration ``t`` is the node holding block column ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ColumnBlockLayout"]
+
+
+@dataclass(frozen=True)
+class ColumnBlockLayout:
+    """Contiguous block-column ownership over p nodes."""
+
+    nb: int  # block columns
+    p: int  # nodes
+
+    def __post_init__(self) -> None:
+        if self.nb < 1 or self.p < 1:
+            raise ValueError(f"nb and p must be >= 1, got nb={self.nb}, p={self.p}")
+        if self.nb % self.p:
+            raise ValueError(f"p={self.p} must divide nb={self.nb} (paper's layout)")
+
+    @property
+    def cols_per_node(self) -> int:
+        """n/(bp): block columns (and per-phase operations) per node."""
+        return self.nb // self.p
+
+    def owner_of_column(self, q: int) -> int:
+        """The node storing block column ``q``."""
+        if not 0 <= q < self.nb:
+            raise ValueError(f"column {q} outside grid of {self.nb}")
+        return q // self.cols_per_node
+
+    def iteration_owner(self, t: int) -> int:
+        """P_t': the node owning block column t (does op1 and all op22)."""
+        return self.owner_of_column(t)
+
+    def columns_of(self, node: int) -> range:
+        """The block columns stored on ``node``."""
+        if not 0 <= node < self.p:
+            raise ValueError(f"node {node} out of range for p={self.p}")
+        c = self.cols_per_node
+        return range(node * c, (node + 1) * c)

@@ -1,0 +1,108 @@
+"""Top-level facade for the LU application design.
+
+Bundles planning (the design model), timing simulation (the DES) and
+functional validation behind one object, and provides the paper's two
+baselines for comparison -- the API the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core.model import DesignModel, LuPlan
+from ...hw.mm_design import MatrixMultiplyDesign
+from ...machine.system import MachineSpec
+from .simulate import LuSimConfig, LuSimResult, simulate_lu
+
+__all__ = ["LuDesign", "LuComparison"]
+
+#: The measured panel-routine latencies of Table 1 (b = 3000).
+TABLE1_LATENCIES = {"t_lu": 4.9, "t_opl": 7.1, "t_opu": 7.1}
+
+
+@dataclass
+class LuComparison:
+    """Hybrid vs the two baselines (the Figure 9 content for LU)."""
+
+    hybrid: LuSimResult
+    cpu_only: LuSimResult
+    fpga_only: LuSimResult
+    predicted_gflops: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.hybrid.gflops / self.cpu_only.gflops
+
+    @property
+    def speedup_vs_fpga(self) -> float:
+        return self.hybrid.gflops / self.fpga_only.gflops
+
+    @property
+    def fraction_of_sum(self) -> float:
+        return self.hybrid.gflops / (self.cpu_only.gflops + self.fpga_only.gflops)
+
+    @property
+    def fraction_of_predicted(self) -> float:
+        return self.hybrid.gflops / self.predicted_gflops
+
+
+class LuDesign:
+    """The hybrid LU design on a given machine."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        n: int,
+        b: int,
+        k: Optional[int] = None,
+        use_table1: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.design = MatrixMultiplyDesign.for_device(spec.node.fpga.device, k=k)
+        self.k = self.design.k
+        self.params = spec.parameters("dgemm", self.design)
+        model = DesignModel(self.params)
+        latencies = TABLE1_LATENCIES if (use_table1 and b == 3000) else {}
+        self.plan: LuPlan = model.plan_lu(n, b, self.k, **latencies)
+        self.n, self.b = n, b
+
+    def describe(self) -> str:
+        """The plan as a Section 6.1-style implementation-details table."""
+        from ...core.reporting import describe_lu_plan, describe_parameters
+
+        return describe_parameters(self.params) + "\n\n" + describe_lu_plan(self.plan)
+
+    # -- simulation -----------------------------------------------------------
+
+    def config(self, b_f: Optional[int] = None, l: Optional[int] = None, **over) -> LuSimConfig:
+        """A simulation config; defaults to the plan's decisions."""
+        return LuSimConfig(
+            n=self.n,
+            b=self.b,
+            k=self.k,
+            b_f=self.plan.partition.b_f if b_f is None else b_f,
+            l=self.plan.balance.l if l is None else l,
+            **over,
+        )
+
+    def simulate(self, **over) -> LuSimResult:
+        """Simulate the planned hybrid design."""
+        return simulate_lu(self.spec, self.config(**over), design=self.design)
+
+    def simulate_cpu_only(self, **over) -> LuSimResult:
+        """The Processor-only baseline (b_f = 0)."""
+        return simulate_lu(self.spec, self.config(b_f=0, **over), design=self.design)
+
+    def simulate_fpga_only(self, **over) -> LuSimResult:
+        """The FPGA-only baseline (b_f = b)."""
+        return simulate_lu(self.spec, self.config(b_f=self.b, **over), design=self.design)
+
+    def compare(self, **over) -> LuComparison:
+        """Hybrid vs both baselines plus the model prediction (Figure 9)."""
+        return LuComparison(
+            hybrid=self.simulate(**over),
+            cpu_only=self.simulate_cpu_only(**over),
+            fpga_only=self.simulate_fpga_only(**over),
+            predicted_gflops=self.plan.prediction.gflops,
+        )

@@ -1,0 +1,208 @@
+"""Functional (real-numerics) execution of the distributed LU schedule.
+
+Runs the exact dataflow of Section 5.1.3 on small matrices, with block
+storage physically partitioned per node, explicit message passing
+between per-node stores, the b_f/b_p row split of every opMM, and the
+Section 4.4 coordination protocol checked by a
+:class:`~repro.core.coordination.CoordinationGuard`.
+
+The FPGA's share of each block product can optionally be computed by the
+cycle-level PE array (:class:`~repro.hw.pe_array.LinearPEArray`) instead
+of numpy, closing the loop between the timing model and the numerics.
+
+The result must satisfy ``L @ U == A`` to factorisation accuracy -- the
+test suite checks this against the sequential reference and scipy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...core.coordination import CoordinationGuard
+from ...hw.pe_array import LinearPEArray
+from ...kernels.blas import gemm, getrf_nopiv, split_lu, trsm_lower_left_unit, trsm_upper_right
+from .layout import BlockCyclicLayout
+
+__all__ = ["FunctionalLuResult", "distributed_block_lu"]
+
+
+@dataclass
+class FunctionalLuResult:
+    """Outcome of a functional distributed LU run."""
+
+    lu: np.ndarray  # assembled packed LU factors
+    op_counts: dict[str, int]
+    messages: int  # inter-node block transfers performed
+    guard: Optional[CoordinationGuard]
+    node_stores: list[dict] = field(repr=False, default_factory=list)
+
+    @property
+    def factors(self):
+        return split_lu(self.lu)
+
+
+def distributed_block_lu(
+    a: np.ndarray,
+    b: int,
+    p: int,
+    b_f: Optional[int] = None,
+    k: int = 2,
+    use_hw_model: bool = False,
+    guard: Optional[CoordinationGuard] = None,
+) -> FunctionalLuResult:
+    """Execute the hybrid LU schedule functionally on ``p`` virtual nodes.
+
+    Parameters
+    ----------
+    a:
+        The n x n input (diagonally dominant recommended; no pivoting).
+    b:
+        Block size (must divide n; b/(p-1) and b_f must be multiples of
+        k when ``use_hw_model``).
+    b_f:
+        Rows of each block product computed on the "FPGA" (default b//2,
+        rounded to a multiple of k).  0 = Processor-only, b = FPGA-only.
+    use_hw_model:
+        Compute the FPGA share with the cycle-level PE array.
+    guard:
+        Optional coordination guard; pass one to have every cross-device
+        access checked against the Section 4.4 protocol.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {a.shape}")
+    if n % b:
+        raise ValueError(f"b={b} must divide n={n}")
+    if p < 2:
+        raise ValueError("the distributed design needs p >= 2 nodes")
+    nb = n // b
+    layout = BlockCyclicLayout(nb, p)
+    if b_f is None:
+        b_f = (b // 2 // k) * k
+    if not 0 <= b_f <= b:
+        raise ValueError(f"b_f={b_f} outside [0, {b}]")
+    b_p = b - b_f
+    array = LinearPEArray(k) if use_hw_model and b_f > 0 else None
+    if array is not None and (b_f % k or b % k or (b % (p - 1) == 0 and (b // (p - 1)) % k)):
+        raise ValueError("use_hw_model requires b, b_f and b/(p-1) to be multiples of k")
+
+    # Physically partitioned storage: node i only ever touches store[i].
+    store: list[dict[tuple[int, int], np.ndarray]] = [dict() for _ in range(p)]
+    for u in range(nb):
+        for v in range(nb):
+            store[layout.owner(u, v)][(u, v)] = a[
+                u * b : (u + 1) * b, v * b : (v + 1) * b
+            ].copy()
+
+    messages = 0
+    counts = {"opLU": 0, "opL": 0, "opU": 0, "opMM": 0, "opMS": 0}
+
+    def region(node: int, u: int, v: int) -> str:
+        return f"dram{node}/A[{u},{v}]"
+
+    def send_block(src: int, dst: int, key_src, key_dst, block: np.ndarray) -> None:
+        """Move a block copy between node stores (an MPI message)."""
+        nonlocal messages
+        store[dst][key_dst] = block.copy()
+        messages += 1
+
+    for t in range(nb):
+        owner = layout.panel_owner(t)
+        own = store[owner]
+        m = nb - t - 1
+        # --- Step 1: opLU on the diagonal block (owner CPU). -------------
+        if guard:
+            guard.begin_write(region(owner, t, t), f"cpu{owner}")
+        own[(t, t)] = getrf_nopiv(own[(t, t)])
+        if guard:
+            guard.end_write(region(owner, t, t), f"cpu{owner}")
+        counts["opLU"] += 1
+        l00, u00 = split_lu(own[(t, t)])
+        # --- Step 1/2: opL and opU on the panel (owner CPU). --------------
+        for u in range(t + 1, nb):
+            if guard:
+                guard.begin_write(region(owner, u, t), f"cpu{owner}")
+            own[(u, t)] = trsm_upper_right(u00, own[(u, t)])
+            if guard:
+                guard.end_write(region(owner, u, t), f"cpu{owner}")
+            counts["opL"] += 1
+        for v in range(t + 1, nb):
+            if guard:
+                guard.begin_write(region(owner, t, v), f"cpu{owner}")
+            own[(t, v)] = trsm_lower_left_unit(l00, own[(t, v)])
+            if guard:
+                guard.end_write(region(owner, t, v), f"cpu{owner}")
+            counts["opU"] += 1
+        # --- Step 3: cooperative opMM on the p-1 workers, opMS at the
+        #     block's storage node. -----------------------------------------
+        workers = [i for i in range(p) if i != owner]
+        for u in range(t + 1, nb):
+            for v in range(t + 1, nb):
+                c_blk = own[(u, t)]  # b x b
+                d_blk = own[(t, v)]  # b x b
+                cols_per_worker = _split_columns(b, len(workers))
+                update = np.empty((b, b))
+                col0 = 0
+                for w, ncols in zip(workers, cols_per_worker):
+                    cols = slice(col0, col0 + ncols)
+                    # Owner ships C and the worker's D columns.
+                    send_block(owner, w, (u, t), ("C", u, t), c_blk)
+                    send_block(owner, w, (t, v), ("D", t, v), d_blk[:, cols])
+                    if guard:
+                        guard.grant(region(owner, u, t), f"cpu{w}")
+                        guard.grant(region(owner, t, v), f"cpu{w}")
+                    c_local = store[w].pop(("C", u, t))
+                    d_local = store[w].pop(("D", t, v))
+                    part = np.empty((b, ncols))
+                    # FPGA share: top b_f rows; CPU share: the rest.
+                    if b_f > 0:
+                        if guard:
+                            guard.begin_write(f"sram{w}/E[{u},{v}]", f"fpga{w}")
+                        if array is not None:
+                            acc = np.zeros((b_f, ncols))
+                            for s in range(b // k):
+                                cs = c_local[:b_f, s * k : (s + 1) * k]
+                                ds = d_local[s * k : (s + 1) * k, :]
+                                acc += array.multiply(cs, ds).product
+                            part[:b_f] = acc
+                        else:
+                            part[:b_f] = gemm(c_local[:b_f], d_local)
+                        if guard:
+                            guard.end_write(f"sram{w}/E[{u},{v}]", f"fpga{w}")
+                            guard.grant(f"sram{w}/E[{u},{v}]", f"cpu{w}")
+                            guard.read(f"sram{w}/E[{u},{v}]", f"cpu{w}")
+                    if b_p > 0:
+                        part[b_f:] = gemm(c_local[b_f:], d_local)
+                    update[:, cols] = part
+                    col0 += ncols
+                counts["opMM"] += 1
+                # opMS at the node that stores A[u, v].
+                dest = layout.owner(u, v)
+                for w, ncols in zip(workers, cols_per_worker):
+                    messages += 1 if w != dest else 0
+                if guard:
+                    guard.begin_write(region(dest, u, v), f"cpu{dest}")
+                store[dest][(u, v)] = store[dest][(u, v)] - update
+                if guard:
+                    guard.end_write(region(dest, u, v), f"cpu{dest}")
+                counts["opMS"] += 1
+
+    # Assemble the packed factors from the distributed stores.
+    lu = np.empty((n, n))
+    for u in range(nb):
+        for v in range(nb):
+            lu[u * b : (u + 1) * b, v * b : (v + 1) * b] = store[layout.owner(u, v)][(u, v)]
+    return FunctionalLuResult(
+        lu=lu, op_counts=counts, messages=messages, guard=guard, node_stores=store
+    )
+
+
+def _split_columns(b: int, workers: int) -> list[int]:
+    """Split b columns as evenly as possible over the workers."""
+    base = b // workers
+    extra = b % workers
+    return [base + (1 if i < extra else 0) for i in range(workers)]

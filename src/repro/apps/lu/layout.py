@@ -1,0 +1,80 @@
+"""Data layout for the distributed LU design (Section 5.1.3).
+
+The matrix is partitioned into ``b x b`` blocks ``A_uv``.  Node ``P_i``
+stores block row ``i`` and block column ``i`` (their parts at or beyond
+the diagonal), then row/column ``i+p``, ``i+2p``, ... -- a cyclic
+assignment of "border strips".  Consequently:
+
+* block ``(u, v)`` lives on node ``min(u, v) mod p``;
+* the whole panel of iteration ``t`` (blocks ``(u, t)`` and ``(t, v)``,
+  ``u, v >= t``) lives on node ``t mod p``, so opLU/opL/opU read only
+  local data -- the property the schedule depends on.
+
+The paper routes opMM outputs ``A'_uv`` "to P_t'' where t'' = max{u,v}";
+with this layout the node that *stores* (and must subtract into) ``A_uv``
+is ``min(u,v) mod p``, and that is where we send them -- reading ``max``
+as a typo for ``min`` keeps every access local and the dataflow
+consistent (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BlockCyclicLayout"]
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """Strip-cyclic block ownership for an (n/b) x (n/b) block grid."""
+
+    nb: int  # blocks per dimension
+    p: int  # nodes
+
+    def __post_init__(self) -> None:
+        if self.nb < 1:
+            raise ValueError(f"nb must be >= 1, got {self.nb}")
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {self.p}")
+
+    def _check(self, u: int, v: int) -> None:
+        if not (0 <= u < self.nb and 0 <= v < self.nb):
+            raise ValueError(f"block ({u}, {v}) outside {self.nb} x {self.nb} grid")
+
+    def owner(self, u: int, v: int) -> int:
+        """The node storing block (u, v): ``min(u, v) mod p``."""
+        self._check(u, v)
+        return min(u, v) % self.p
+
+    def panel_owner(self, t: int) -> int:
+        """The node that factorises panel ``t`` (owns strip t)."""
+        if not 0 <= t < self.nb:
+            raise ValueError(f"panel {t} outside grid of {self.nb}")
+        return t % self.p
+
+    def blocks_on(self, node: int) -> list[tuple[int, int]]:
+        """All blocks stored on ``node`` (row-major order)."""
+        if not 0 <= node < self.p:
+            raise ValueError(f"node {node} out of range for p={self.p}")
+        return [
+            (u, v)
+            for u in range(self.nb)
+            for v in range(self.nb)
+            if self.owner(u, v) == node
+        ]
+
+    def strip_members(self, t: int) -> list[tuple[int, int]]:
+        """The blocks of border strip ``t``: row t and column t from (t, t)."""
+        if not 0 <= t < self.nb:
+            raise ValueError(f"strip {t} outside grid")
+        row = [(t, v) for v in range(t, self.nb)]
+        col = [(u, t) for u in range(t + 1, self.nb)]
+        return row + col
+
+    def counts(self) -> list[int]:
+        """Blocks stored per node (for balance checks)."""
+        out = [0] * self.p
+        for u in range(self.nb):
+            for v in range(self.nb):
+                out[self.owner(u, v)] += 1
+        return out

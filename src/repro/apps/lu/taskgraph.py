@@ -1,0 +1,119 @@
+"""The LU task DAG (Section 5.1.2 dependencies, concrete per run).
+
+Builds the complete :class:`~repro.core.tasks.TaskGraph` for a block LU
+of ``n/b x n/b`` blocks: per iteration ``t`` one opLU, ``m`` opL,
+``m`` opU, ``m^2`` opMM and ``m^2`` opMS tasks (``m = n/b - t - 1``),
+wired with the paper's dependencies:
+
+* opL/opU need the iteration's opLU;
+* opMM(u, v) needs opL(u) and opU(v);
+* opMS(u, v) needs opMM(u, v);
+* every task also needs the previous iteration's opMS on the blocks it
+  reads (the recursion on ``A_11``).
+
+Used by the benchmarks for critical-path analysis and by tests to check
+the schedule's operation counts against the closed forms.
+"""
+
+from __future__ import annotations
+
+from ...core.tasks import Task, TaskGraph
+from ...kernels.flops import gemm_flops, getrf_flops, trsm_flops
+from .layout import BlockCyclicLayout
+
+__all__ = ["build_lu_taskgraph", "lu_op_counts"]
+
+
+def lu_op_counts(nb: int) -> dict[str, int]:
+    """Closed-form task counts for an nb x nb block LU."""
+    if nb < 1:
+        raise ValueError(f"nb must be >= 1, got {nb}")
+    m_values = [nb - t - 1 for t in range(nb)]
+    return {
+        "opLU": nb,
+        "opL": sum(m_values),
+        "opU": sum(m_values),
+        "opMM": sum(m * m for m in m_values),
+        "opMS": sum(m * m for m in m_values),
+    }
+
+
+def _ms_id(t: int, u: int, v: int) -> str:
+    return f"opMS[{t},{u},{v}]"
+
+
+def build_lu_taskgraph(n: int, b: int, p: int) -> TaskGraph:
+    """The full LU DAG for an n x n matrix with b x b blocks on p nodes."""
+    if n < b or n % b:
+        raise ValueError(f"b={b} must divide n={n}")
+    nb = n // b
+    layout = BlockCyclicLayout(nb, p)
+    g = TaskGraph()
+
+    def prev_ms(t: int, u: int, v: int) -> tuple[str, ...]:
+        """Dependency on the previous iteration's update of block (u, v)."""
+        if t == 0:
+            return ()
+        return (_ms_id(t - 1, u, v),)
+
+    for t in range(nb):
+        owner = layout.panel_owner(t)
+        lu_id = f"opLU[{t}]"
+        g.add(
+            Task(
+                lu_id,
+                "opLU",
+                node=owner,
+                flops=getrf_flops(b),
+                deps=prev_ms(t, t, t),
+                payload={"t": t},
+            )
+        )
+        for u in range(t + 1, nb):
+            g.add(
+                Task(
+                    f"opL[{t},{u}]",
+                    "opL",
+                    node=owner,
+                    flops=trsm_flops(b, b),
+                    deps=(lu_id,) + prev_ms(t, u, t),
+                    payload={"t": t, "u": u},
+                )
+            )
+        for v in range(t + 1, nb):
+            g.add(
+                Task(
+                    f"opU[{t},{v}]",
+                    "opU",
+                    node=owner,
+                    flops=trsm_flops(b, b),
+                    deps=(lu_id,) + prev_ms(t, t, v),
+                    payload={"t": t, "v": v},
+                )
+            )
+        for u in range(t + 1, nb):
+            for v in range(t + 1, nb):
+                mm_id = f"opMM[{t},{u},{v}]"
+                g.add(
+                    Task(
+                        mm_id,
+                        "opMM",
+                        # Cooperative across the p-1 non-owner nodes; tagged
+                        # with the owner whose sends feed it.
+                        node=owner,
+                        flops=gemm_flops(b, b, b),
+                        deps=(f"opL[{t},{u}]", f"opU[{t},{v}]"),
+                        payload={"t": t, "u": u, "v": v, "cooperative": True},
+                    )
+                )
+                g.add(
+                    Task(
+                        _ms_id(t, u, v),
+                        "opMS",
+                        node=layout.owner(u, v),
+                        flops=float(b * b),
+                        deps=(mm_id,) + prev_ms(t, u, v),
+                        payload={"t": t, "u": u, "v": v},
+                    )
+                )
+    return g

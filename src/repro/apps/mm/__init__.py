@@ -1,0 +1,25 @@
+"""Extension application: distributed hybrid matrix multiplication.
+
+The paper's model targets "a class of applications" of which LU and FW
+are the worked examples; this package applies it to the ring-allgather
+C = A x B of the authors' earlier ICPADS 2006 paper [22], exercising
+Equation (2) (the network-aware flop split) directly.
+"""
+
+from .design import MmComparison, MmDesign
+from .functional import FunctionalMmResult, distributed_ring_mm
+from .partition import COL_TILE, MmPartition, mm_row_partition
+from .simulate import MmSimConfig, MmSimResult, simulate_mm
+
+__all__ = [
+    "COL_TILE",
+    "FunctionalMmResult",
+    "MmComparison",
+    "MmDesign",
+    "MmPartition",
+    "MmSimConfig",
+    "MmSimResult",
+    "distributed_ring_mm",
+    "mm_row_partition",
+    "simulate_mm",
+]

@@ -1,0 +1,81 @@
+"""Facade for the extension application: distributed hybrid C = A x B."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...hw.mm_design import MatrixMultiplyDesign
+from ...machine.system import MachineSpec
+from .partition import MmPartition, mm_row_partition
+from .simulate import MmSimConfig, MmSimResult, simulate_mm
+
+__all__ = ["MmDesign", "MmComparison"]
+
+
+@dataclass
+class MmComparison:
+    """Hybrid vs the two baselines for the ring multiplication."""
+
+    hybrid: MmSimResult
+    cpu_only: MmSimResult
+    fpga_only: MmSimResult
+    predicted_gflops: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.hybrid.gflops / self.cpu_only.gflops
+
+    @property
+    def speedup_vs_fpga(self) -> float:
+        return self.hybrid.gflops / self.fpga_only.gflops
+
+    @property
+    def fraction_of_sum(self) -> float:
+        return self.hybrid.gflops / (self.cpu_only.gflops + self.fpga_only.gflops)
+
+    @property
+    def fraction_of_predicted(self) -> float:
+        return self.hybrid.gflops / self.predicted_gflops
+
+
+class MmDesign:
+    """The hybrid ring matrix multiplication on a given machine."""
+
+    def __init__(self, spec: MachineSpec, n: int, k: Optional[int] = None) -> None:
+        self.spec = spec
+        self.design = MatrixMultiplyDesign.for_device(spec.node.fpga.device, k=k)
+        self.k = self.design.k
+        self.params = spec.parameters("dgemm", self.design)
+        self.plan: MmPartition = mm_row_partition(n, self.k, self.params)
+        self.n = n
+
+    @property
+    def predicted_gflops(self) -> float:
+        """Section 4.5-style prediction: p ring steps of the step makespan."""
+        total = self.spec.p * self.plan.step_makespan
+        return 2.0 * float(self.n) ** 3 / total / 1e9
+
+    def config(self, m_f: Optional[int] = None, **over) -> MmSimConfig:
+        return MmSimConfig(
+            n=self.n, k=self.k, m_f=self.plan.m_f if m_f is None else m_f, **over
+        )
+
+    def simulate(self, trace: bool = False, **over) -> MmSimResult:
+        return simulate_mm(self.spec, self.config(**over), design=self.design, trace=trace)
+
+    def simulate_cpu_only(self, trace: bool = False, **over) -> MmSimResult:
+        return simulate_mm(self.spec, self.config(m_f=0, **over), design=self.design, trace=trace)
+
+    def simulate_fpga_only(self, trace: bool = False, **over) -> MmSimResult:
+        return simulate_mm(
+            self.spec, self.config(m_f=self.plan.r, **over), design=self.design, trace=trace
+        )
+
+    def compare(self, **over) -> MmComparison:
+        return MmComparison(
+            hybrid=self.simulate(**over),
+            cpu_only=self.simulate_cpu_only(**over),
+            fpga_only=self.simulate_fpga_only(**over),
+            predicted_gflops=self.predicted_gflops,
+        )

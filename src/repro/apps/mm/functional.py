@@ -1,0 +1,114 @@
+"""Functional (real-numerics) execution of the ring-allgather MM.
+
+Same dataflow as the timing simulation, on real matrices: per-node row
+panels, the circulating B panel, the m_f/m_p row split (FPGA share
+optionally on the cycle-level PE array), guard-checked coordination.
+Result must equal ``A @ B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...core.coordination import CoordinationGuard
+from ...hw.pe_array import LinearPEArray
+from ...kernels.blas import gemm
+
+__all__ = ["FunctionalMmResult", "distributed_ring_mm"]
+
+
+@dataclass
+class FunctionalMmResult:
+    """Outcome of a functional ring multiplication."""
+
+    product: np.ndarray
+    messages: int
+    device_rows: dict[str, int]
+    guard: Optional[CoordinationGuard] = None
+    panels: list = field(repr=False, default_factory=list)
+
+
+def distributed_ring_mm(
+    a: np.ndarray,
+    b: np.ndarray,
+    p: int,
+    m_f: Optional[int] = None,
+    k: int = 2,
+    use_hw_model: bool = False,
+    guard: Optional[CoordinationGuard] = None,
+) -> FunctionalMmResult:
+    """Compute ``A @ B`` with the distributed hybrid ring schedule.
+
+    ``m_f`` rows of each node's per-step block product go to the "FPGA"
+    (cycle-level array when ``use_hw_model``); defaults to half the
+    panel height rounded to ``k``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError(f"A and B must be square and equal-sized, got {a.shape}, {b.shape}")
+    if p < 1 or n % p:
+        raise ValueError(f"p={p} must divide n={n}")
+    r = n // p
+    if m_f is None:
+        m_f = (r // 2 // k) * k
+    if not 0 <= m_f <= r:
+        raise ValueError(f"m_f={m_f} outside [0, {r}]")
+    array = LinearPEArray(k) if use_hw_model and m_f > 0 else None
+    if array is not None and (r % k or m_f % k or n % k):
+        raise ValueError("use_hw_model requires n/p, m_f and n to be multiples of k")
+
+    a_panels = [a[i * r : (i + 1) * r, :].copy() for i in range(p)]
+    b_panels = [b[i * r : (i + 1) * r, :].copy() for i in range(p)]
+    c_panels = [np.zeros((r, n)) for _ in range(p)]
+    messages = 0
+    device_rows = {"cpu": 0, "fpga": 0}
+
+    for s in range(p):
+        next_b = [None] * p
+        for i in range(p):
+            q = (i - s) % p  # which B panel this node holds at step s
+            blk = a_panels[i][:, q * r : (q + 1) * r]  # r x r
+            panel = b_panels[q]
+            if guard:
+                guard.begin_write(f"dram{i}/C[{s}]", f"cpu{i}")
+            if m_f > 0:
+                if guard:
+                    guard.begin_write(f"sram{i}/C[{s}]", f"fpga{i}")
+                if array is not None:
+                    acc = np.zeros((m_f, n))
+                    for t in range(r // k):
+                        acc += array.multiply(
+                            blk[:m_f, t * k : (t + 1) * k], panel[t * k : (t + 1) * k, :]
+                        ).product
+                    c_panels[i][:m_f] += acc
+                else:
+                    c_panels[i][:m_f] += gemm(blk[:m_f], panel)
+                device_rows["fpga"] += m_f
+                if guard:
+                    guard.end_write(f"sram{i}/C[{s}]", f"fpga{i}")
+                    guard.grant(f"sram{i}/C[{s}]", f"cpu{i}")
+            if m_f < r:
+                c_panels[i][m_f:] += gemm(blk[m_f:], panel)
+                device_rows["cpu"] += r - m_f
+            if guard:
+                guard.end_write(f"dram{i}/C[{s}]", f"cpu{i}")
+            # Forward the panel to the right neighbour for step s+1.
+            if s < p - 1:
+                next_b[(q + 1) % p] = panel
+                messages += 1
+        # (The panel identity is tracked by index q, so the "send" is the
+        # message count above; payloads are the b_panels themselves.)
+
+    product = np.vstack(c_panels) if p > 1 else c_panels[0]
+    return FunctionalMmResult(
+        product=product,
+        messages=messages,
+        device_rows=device_rows,
+        guard=guard,
+        panels=c_panels,
+    )

@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-xd1``.
+
+Runs the paper's experiments from the shell::
+
+    repro-xd1 lu                 # headline LU comparison (Figure 9, left)
+    repro-xd1 fw                 # headline FW comparison (Figure 9, right)
+    repro-xd1 plan-lu --n 30000  # just the design-model decisions
+    repro-xd1 plan-fw --n 92160
+    repro-xd1 machines           # predicted performance across presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import bar_chart, percent, table
+from .apps.fw import FwDesign
+from .apps.lu import LuDesign
+from .hw import FloydWarshallDesign, MatrixMultiplyDesign
+from .machine import ALL_PRESETS, cray_xd1
+
+
+def _cmd_lu(args: argparse.Namespace) -> None:
+    design = LuDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
+    plan = design.plan
+    print(f"plan: b_p={plan.partition.b_p} b_f={plan.partition.b_f} l={plan.balance.l} "
+          f"predicted={plan.prediction.gflops:.2f} GFLOPS")
+    cmp = design.compare()
+    print(bar_chart(
+        ["Hybrid", "Processor-only", "FPGA-only", "Predicted"],
+        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        f"LU decomposition, n={args.n}, b={args.b}, p={args.p} (GFLOPS)",
+        unit=" GFLOPS",
+    ))
+    print(f"speedup vs CPU-only  : {cmp.speedup_vs_cpu:.2f}x (paper: 1.3x)")
+    print(f"speedup vs FPGA-only : {cmp.speedup_vs_fpga:.2f}x (paper: 2x)")
+    print(f"of baseline sum      : {percent(cmp.fraction_of_sum)} (paper: ~80%)")
+    print(f"of model prediction  : {percent(cmp.fraction_of_predicted)} (paper: ~86%)")
+
+
+def _cmd_fw(args: argparse.Namespace) -> None:
+    design = FwDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
+    plan = design.plan
+    print(f"plan: l1={plan.partition.l1} l2={plan.partition.l2} "
+          f"predicted={plan.prediction.gflops:.2f} GFLOPS")
+    cmp = design.compare()
+    print(bar_chart(
+        ["Hybrid", "Processor-only", "FPGA-only", "Predicted"],
+        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        f"Floyd-Warshall, n={args.n}, b={args.b}, p={args.p} (GFLOPS)",
+        unit=" GFLOPS",
+    ))
+    print(f"speedup vs CPU-only  : {cmp.speedup_vs_cpu:.2f}x (paper: 5.8x)")
+    print(f"speedup vs FPGA-only : {cmp.speedup_vs_fpga:.2f}x (paper: 1.15x)")
+    print(f"of baseline sum      : {percent(cmp.fraction_of_sum)} (paper: >95%)")
+    print(f"of model prediction  : {percent(cmp.fraction_of_predicted)} (paper: ~96%)")
+
+
+def _cmd_plan_lu(args: argparse.Namespace) -> None:
+    design = LuDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
+    part, bal = design.plan.partition, design.plan.balance
+    rows = [
+        ["b_p (CPU rows)", part.b_p],
+        ["b_f (FPGA rows)", part.b_f],
+        ["b_f exact (Eq. 4)", f"{part.b_f_exact:.1f}"],
+        ["T_p / stripe", f"{part.t_p * 1e3:.3f} ms"],
+        ["T_f / stripe", f"{part.t_f * 1e3:.3f} ms"],
+        ["T_comm / stripe", f"{part.t_comm * 1e3:.3f} ms"],
+        ["T_mem / stripe", f"{part.t_mem * 1e3:.3f} ms"],
+        ["l (Eq. 5)", bal.l],
+        ["SRAM words", part.sram_words],
+        ["coordination", f"{design.plan.coordination_hz:.1f} Hz"],
+        ["predicted", f"{design.plan.prediction.gflops:.2f} GFLOPS"],
+    ]
+    print(table(["decision", "value"], rows, title=f"LU plan (n={args.n}, b={args.b})"))
+
+
+def _cmd_plan_fw(args: argparse.Namespace) -> None:
+    design = FwDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
+    part = design.plan.partition
+    rows = [
+        ["l1 (CPU ops/phase)", part.l1],
+        ["l2 (FPGA ops/phase)", part.l2],
+        ["l1 exact (Eq. 6)", f"{part.l1_exact:.2f}"],
+        ["T_p / op", f"{part.t_p * 1e3:.1f} ms"],
+        ["T_f / op", f"{part.t_f * 1e3:.1f} ms"],
+        ["T_comm / phase", f"{part.t_comm * 1e3:.3f} ms"],
+        ["T_mem / op", f"{part.t_mem * 1e3:.3f} ms"],
+        ["coordination", f"{design.plan.coordination_hz:.2f} Hz"],
+        ["predicted", f"{design.plan.prediction.gflops:.2f} GFLOPS"],
+    ]
+    print(table(["decision", "value"], rows, title=f"FW plan (n={args.n}, b={args.b})"))
+
+
+def _cmd_machines(args: argparse.Namespace) -> None:
+    from .core import DesignModel
+
+    rows = []
+    for key, factory in ALL_PRESETS.items():
+        spec = factory()
+        mm = MatrixMultiplyDesign.for_device(spec.node.fpga.device)
+        fwd = FloydWarshallDesign.for_device(spec.node.fpga.device)
+        lu_pred = DesignModel(spec.parameters("dgemm", mm)).plan_lu(
+            args.n, 3000, mm.k
+        ).prediction.gflops if spec.p >= 2 else float("nan")
+        fw_n = 256 * spec.p * 60
+        fw_pred = DesignModel(spec.parameters("fw", fwd)).plan_fw(fw_n, 256, fwd.k).prediction.gflops
+        rows.append([spec.name, spec.p, mm.k, f"{mm.freq_hz / 1e6:.0f} MHz",
+                     f"{lu_pred:.1f}", f"{fw_pred:.2f}"])
+    print(table(
+        ["machine", "p", "k", "F_f(MM)", "LU GFLOPS (pred)", "FW GFLOPS (pred)"],
+        rows,
+        title="Design-model predictions across machine presets (Section 4.5)",
+    ))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-xd1`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-xd1",
+        description="Reproduce Zhuo & Prasanna (IPPS 2007) experiments on a simulated Cray XD1.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lu = sub.add_parser("lu", help="headline LU comparison (Fig. 9 left)")
+    lu.add_argument("--n", type=int, default=30000)
+    lu.add_argument("--b", type=int, default=3000)
+    lu.add_argument("--p", type=int, default=6)
+    lu.set_defaults(fn=_cmd_lu)
+
+    fw = sub.add_parser("fw", help="headline FW comparison (Fig. 9 right)")
+    fw.add_argument("--n", type=int, default=92160)
+    fw.add_argument("--b", type=int, default=256)
+    fw.add_argument("--p", type=int, default=6)
+    fw.set_defaults(fn=_cmd_fw)
+
+    plu = sub.add_parser("plan-lu", help="LU design-model decisions only")
+    plu.add_argument("--n", type=int, default=30000)
+    plu.add_argument("--b", type=int, default=3000)
+    plu.add_argument("--p", type=int, default=6)
+    plu.set_defaults(fn=_cmd_plan_lu)
+
+    pfw = sub.add_parser("plan-fw", help="FW design-model decisions only")
+    pfw.add_argument("--n", type=int, default=92160)
+    pfw.add_argument("--b", type=int, default=256)
+    pfw.add_argument("--p", type=int, default=6)
+    pfw.set_defaults(fn=_cmd_plan_fw)
+
+    mach = sub.add_parser("machines", help="predictions across machine presets")
+    mach.add_argument("--n", type=int, default=30000)
+    mach.set_defaults(fn=_cmd_machines)
+
+    val = sub.add_parser("validate", help="functional validation (real numerics)")
+    val.set_defaults(fn=_cmd_validate)
+
+    exp = sub.add_parser("experiments", help="run the full table/figure harness")
+    exp.add_argument("--only", help="comma-separated experiment ids", default=None)
+    exp.set_defaults(fn=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    result = args.fn(args)
+    return int(result) if isinstance(result, int) else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validate import main as validate_main
+
+    return validate_main()
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    if args.only:
+        wanted = [name.strip() for name in args.only.split(",")]
+        unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment ids: {unknown}; available: {sorted(ALL_EXPERIMENTS)}")
+            return 2
+        selected = {name: ALL_EXPERIMENTS[name] for name in wanted}
+    else:
+        selected = ALL_EXPERIMENTS
+    failed = []
+    for name, fn in selected.items():
+        result = fn()
+        print("=" * 72)
+        print(result.summary())
+        print(result.text)
+        print()
+        if not result.ok:
+            failed.append(name)
+    if failed:
+        print(f"FAILED checks in: {failed}")
+        return 1
+    print("All reproduction checks passed.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

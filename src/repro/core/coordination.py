@@ -1,0 +1,146 @@
+"""Hardware/software coordination (Section 4.4 of the paper).
+
+Two concerns are modelled:
+
+1. **Handshake frequency.**  The processor starts the FPGA via a status
+   register and polls for completion; the paper reports how often this
+   happens (it is cheap, but the designs quote the rate).  The closed
+   forms here match Section 5: for LU, ``2 (p-1) F_f / (b_f b)``
+   handshakes per second; for FW, ``2 / (l2 T_f)``.  (The paper prints
+   the FW rate as ``2 k F_p / (2 l2 b^3)``, mixing F_p for F_f; the
+   corrected form is implemented and the discrepancy documented.)
+
+2. **Memory-access coordination.**  Processor and FPGA share the DRAM;
+   the model requires (a) disjoint write regions and (b) an explicit
+   grant before a device reads a region another device writes
+   (read-after-write protection).  :class:`CoordinationGuard` enforces
+   those rules at functional-execution time; with ``enforce=False`` it
+   records violations instead, which the failure-injection tests use to
+   show the protocol is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HazardError",
+    "Violation",
+    "CoordinationGuard",
+    "lu_coordination_rate",
+    "fw_coordination_rate",
+]
+
+
+def lu_coordination_rate(b_f: int, b: int, p: int, f_f: float) -> float:
+    """Handshakes per second in the LU design: ``2 (p-1) F_f / (b_f b)``.
+
+    One start + one done signal per stripe multiplication of duration
+    ``T_f = b_f b / ((p-1) F_f)``.
+    """
+    if b_f <= 0 or b <= 0 or p < 2 or f_f <= 0:
+        raise ValueError("b_f, b must be positive, p >= 2, f_f > 0")
+    return 2.0 * (p - 1) * f_f / (b_f * b)
+
+
+def fw_coordination_rate(l2: int, t_f: float) -> float:
+    """Handshakes per second in the FW design: ``2 / (l2 T_f)``.
+
+    One start + one done signal per batch of ``l2`` FPGA operations.
+    """
+    if l2 <= 0 or t_f <= 0:
+        raise ValueError("l2 and t_f must be positive")
+    return 2.0 / (l2 * t_f)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded coordination violation."""
+
+    kind: str  # "raw-hazard" | "write-conflict" | "ungranted-read"
+    region: str
+    actor: str
+    holder: str
+
+
+class HazardError(RuntimeError):
+    """A coordination rule was violated with enforcement on."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(
+            f"{violation.kind} on region {violation.region!r}: "
+            f"{violation.actor!r} vs {violation.holder!r}"
+        )
+        self.violation = violation
+
+
+@dataclass
+class CoordinationGuard:
+    """Runtime checker for the Section 4.4 memory-coordination protocol.
+
+    Regions are named strings (e.g. ``"dram0/E[rows 0:1720]"``).  Rules:
+
+    * a region being written may not be written by another actor
+      (write-conflict -- the "separate memory locations" rule);
+    * a region being written may not be read at all (RAW hazard);
+    * a region last written by actor X may only be read by actor Y != X
+      after X has granted permission (:meth:`grant`) -- "the FPGA cannot
+      read the DRAM memory before getting permission from the processor",
+      and symmetrically for SRAM.
+    """
+
+    enforce: bool = True
+    violations: list[Violation] = field(default_factory=list)
+    _writing: dict[str, str] = field(default_factory=dict)
+    _last_writer: dict[str, str] = field(default_factory=dict)
+    _granted: dict[str, set[str]] = field(default_factory=dict)
+
+    def _flag(self, kind: str, region: str, actor: str, holder: str) -> None:
+        violation = Violation(kind, region, actor, holder)
+        self.violations.append(violation)
+        if self.enforce:
+            raise HazardError(violation)
+
+    # -- write protocol --------------------------------------------------------
+
+    def begin_write(self, region: str, actor: str) -> None:
+        """Actor starts writing ``region``."""
+        holder = self._writing.get(region)
+        if holder is not None and holder != actor:
+            self._flag("write-conflict", region, actor, holder)
+            return
+        self._writing[region] = actor
+        # A new write invalidates all previous read grants.
+        self._granted.pop(region, None)
+
+    def end_write(self, region: str, actor: str) -> None:
+        """Actor finishes writing ``region``."""
+        holder = self._writing.get(region)
+        if holder != actor:
+            raise ValueError(f"{actor!r} ended a write it does not hold on {region!r}")
+        del self._writing[region]
+        self._last_writer[region] = actor
+
+    # -- grant + read protocol ----------------------------------------------------
+
+    def grant(self, region: str, to_actor: str) -> None:
+        """The region's writer permits ``to_actor`` to read it."""
+        self._granted.setdefault(region, set()).add(to_actor)
+
+    def read(self, region: str, actor: str) -> None:
+        """Actor reads ``region``; checks RAW and grant rules."""
+        holder = self._writing.get(region)
+        if holder is not None and holder != actor:
+            self._flag("raw-hazard", region, actor, holder)
+            return
+        writer = self._last_writer.get(region)
+        if writer is not None and writer != actor:
+            if actor not in self._granted.get(region, set()):
+                self._flag("ungranted-read", region, actor, writer)
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True if no violations have been recorded."""
+        return not self.violations

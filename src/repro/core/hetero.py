@@ -1,0 +1,126 @@
+"""Heterogeneous-node load balancing (extension of Section 4.3).
+
+The paper balances load across *identical* nodes ("adjust the number of
+tasks assigned to each node so that the execution time of each node is
+approximately equal").  Real installations mix node generations; this
+module extends the rule to nodes with different hybrid computing rates:
+
+* :func:`node_hybrid_rate` -- a node's effective task throughput given
+  its own (l1, l2)-style split;
+* :func:`proportional_assignment` -- integer task counts proportional
+  to the rates (largest-remainder rounding), minimising the makespan of
+  identical independent tasks;
+* :func:`assignment_makespan` / :func:`imbalance` -- evaluation.
+
+This is a *model-level* extension: it plugs into the same
+SystemParameters/partition machinery and is exercised against brute
+force in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .parameters import SystemParameters
+from .partition import fw_op_times
+
+__all__ = [
+    "proportional_assignment",
+    "assignment_makespan",
+    "imbalance",
+    "node_hybrid_rate",
+    "hetero_fw_assignment",
+]
+
+
+def proportional_assignment(total_tasks: int, rates: Sequence[float]) -> list[int]:
+    """Assign ``total_tasks`` identical tasks proportionally to ``rates``.
+
+    Uses the largest-remainder method, which minimises the makespan
+    ``max_i(tasks_i / rate_i)`` over integer assignments up to the
+    rounding granularity (verified against brute force in the tests).
+    Zero-rate nodes receive zero tasks.
+    """
+    if total_tasks < 0:
+        raise ValueError(f"total_tasks must be >= 0, got {total_tasks}")
+    if not rates:
+        raise ValueError("no nodes")
+    if any(r < 0 for r in rates):
+        raise ValueError("rates must be non-negative")
+    total_rate = float(sum(rates))
+    if total_rate == 0:
+        raise ValueError("at least one node must have a positive rate")
+    ideal = [total_tasks * r / total_rate for r in rates]
+    floors = [int(x) for x in ideal]
+    remainder = total_tasks - sum(floors)
+    # Hand the leftover tasks to the largest fractional parts, breaking
+    # ties toward faster nodes (lower resulting makespan).
+    order = sorted(
+        range(len(rates)),
+        key=lambda i: (ideal[i] - floors[i], rates[i]),
+        reverse=True,
+    )
+    out = floors[:]
+    for i in order[:remainder]:
+        out[i] += 1
+    return out
+
+
+def assignment_makespan(assignment: Sequence[int], rates: Sequence[float]) -> float:
+    """Completion time of an integer assignment: max_i tasks_i / rate_i."""
+    if len(assignment) != len(rates):
+        raise ValueError("assignment and rates must have equal length")
+    worst = 0.0
+    for tasks, rate in zip(assignment, rates):
+        if tasks < 0:
+            raise ValueError("negative task count")
+        if tasks > 0:
+            if rate <= 0:
+                return float("inf")
+            worst = max(worst, tasks / rate)
+    return worst
+
+
+def imbalance(assignment: Sequence[int], rates: Sequence[float]) -> float:
+    """Makespan relative to the fluid (fractional) lower bound; >= 1."""
+    total = sum(assignment)
+    if total == 0:
+        return 1.0
+    fluid = total / float(sum(rates))
+    return assignment_makespan(assignment, rates) / fluid
+
+
+def node_hybrid_rate(params: SystemParameters, b: int, k: int, l1: int, l2: int) -> float:
+    """A node's FW task throughput (tasks/s) at a given (l1, l2) split.
+
+    Per phase the node finishes ``l1 + l2`` tasks in
+    ``max(l1 T_p + T_comm + l2 T_mem, l2 T_f)`` seconds -- the Eq. (6)
+    makespan with the node's own parameters.
+    """
+    if l1 < 0 or l2 < 0 or l1 + l2 == 0:
+        raise ValueError(f"invalid split l1={l1}, l2={l2}")
+    t_p, t_f, t_comm, t_mem = fw_op_times(b, k, params)
+    phase = max(l1 * t_p + t_comm + l2 * t_mem, l2 * t_f)
+    return (l1 + l2) / phase
+
+
+def hetero_fw_assignment(
+    nb: int, node_params: Sequence[SystemParameters], b: int, k: int
+) -> list[int]:
+    """Block-column counts per node for FW on heterogeneous nodes.
+
+    Each node first gets its own Eq. (6)-style internal split (here:
+    fluid, proportional to its device rates), then columns are dealt
+    proportionally to the resulting hybrid rates.  Returns counts
+    summing to ``nb``.
+    """
+    if nb < 1:
+        raise ValueError(f"nb must be >= 1, got {nb}")
+    rates = []
+    for params in node_params:
+        t_p, t_f, _t_comm, t_mem = fw_op_times(b, k, params)
+        # Fluid internal split: share work so both devices finish together.
+        cpu_rate = 1.0 / t_p
+        fpga_rate = 1.0 / (t_f + t_mem)
+        rates.append(cpu_rate + fpga_rate)
+    return proportional_assignment(nb, rates)

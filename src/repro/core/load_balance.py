@@ -1,0 +1,88 @@
+"""Multi-node load balancing: Equation (5) (Section 5.1.3).
+
+While ``p-1`` nodes grind through opMM block products, the owner node
+``P_t'`` factorises panels (opLU) and solves block rows/columns
+(opL/opU).  Equation (5) picks ``l`` -- the number of opMM operations
+the workers perform per owner-side panel operation -- so both finish
+together:
+
+    max{T_lu, T_opl, T_opu} + (l b / k) T_comm  =  l b_f b^2 / ((p-1) k F_f)
+
+The left side is the owner's serial path (its panel op plus shipping the
+stripes for l opMMs); the right side is the workers' FPGA pipeline time
+for l opMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parameters import SystemParameters
+from .partition import LuStripePartition
+
+__all__ = ["LuLoadBalance", "lu_load_balance", "node_work_balance"]
+
+
+@dataclass(frozen=True)
+class LuLoadBalance:
+    """Outcome of solving Equation (5)."""
+
+    l: int  # opMMs per owner panel operation
+    l_exact: float  # continuous solution before rounding
+    owner_op_time: float  # max{T_lu, T_opl, T_opu}
+    opmm_time: float  # per-opMM worker FPGA time  b_f b^2/((p-1) k F_f)
+    comm_per_opmm: float  # (b/k) T_comm: stripes shipped per opMM
+
+
+def lu_load_balance(
+    partition: LuStripePartition,
+    t_lu: float,
+    t_opl: float,
+    t_opu: float,
+    params: SystemParameters,
+) -> LuLoadBalance:
+    """Solve Equation (5) for ``l``.
+
+    ``partition`` supplies ``b``, ``b_f``, ``k`` and the per-stripe
+    ``T_comm``; ``t_lu``/``t_opl``/``t_opu`` are the owner's routine
+    latencies (Table 1 values at b=3000).  The result is floored to an
+    integer >= 1 (the paper rounds 3.3 down to l = 3).
+    """
+    if min(t_lu, t_opl, t_opu) < 0:
+        raise ValueError("panel operation latencies must be non-negative")
+    b, b_f, k, p = partition.b, partition.b_f, partition.k, partition.p
+    owner = max(t_lu, t_opl, t_opu)
+    opmm_time = b_f * b * b / ((p - 1) * k * params.f_f)
+    comm_per_opmm = (b / k) * partition.t_comm
+    denom = opmm_time - comm_per_opmm
+    if denom <= 0:
+        raise ValueError(
+            "communication per opMM exceeds its FPGA time; Equation (5) "
+            "has no finite solution (the network, not compute, binds)"
+        )
+    l_exact = owner / denom
+    l = max(1, int(l_exact))
+    return LuLoadBalance(
+        l=l,
+        l_exact=l_exact,
+        owner_op_time=owner,
+        opmm_time=opmm_time,
+        comm_per_opmm=comm_per_opmm,
+    )
+
+
+def node_work_balance(work_per_node: list[float]) -> float:
+    """Load-balance quality: max/mean of per-node work (1.0 = perfect).
+
+    Section 4.3: "we need to adjust the number of tasks assigned to each
+    node so that the execution time of each node is approximately equal."
+    This metric quantifies how close a schedule gets.
+    """
+    if not work_per_node:
+        raise ValueError("no nodes")
+    if any(w < 0 for w in work_per_node):
+        raise ValueError("negative work")
+    mean = sum(work_per_node) / len(work_per_node)
+    if mean == 0:
+        return 1.0
+    return max(work_per_node) / mean

@@ -1,0 +1,144 @@
+"""The design-model facade: the four-step methodology of Section 4.
+
+:class:`DesignModel` ties the pieces together for a given system
+characterisation:
+
+1. *Task identification* -- the caller supplies :class:`~repro.core.
+   tasks.TaskKind` attributes (complexity, internal dependencies);
+2. *System characterisation* -- the :class:`~repro.core.parameters.
+   SystemParameters`;
+3. *Hardware/software partitioning* -- placement policy per task kind,
+   plus the quantitative splits (Eqs. 1/2/4/6);
+4. *Overlap refinement* -- the partition solvers already include
+   T_comm/T_mem on the serial path; prediction assumes full overlap
+   (Section 4.5).
+
+The two application plans (:class:`LuPlan`, :class:`FwPlan`) bundle
+every decision the schedules in :mod:`repro.apps` need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coordination import fw_coordination_rate, lu_coordination_rate
+from .load_balance import LuLoadBalance, lu_load_balance
+from .parameters import SystemParameters
+from .partition import (
+    FwPartition,
+    LuStripePartition,
+    fw_partition,
+    lu_stripe_partition,
+)
+from .prediction import Prediction, predict_fw, predict_lu
+from .tasks import FW_TASK_KINDS, LU_TASK_KINDS, TaskKind
+
+__all__ = ["DesignModel", "LuPlan", "FwPlan"]
+
+
+@dataclass(frozen=True)
+class LuPlan:
+    """Every design decision for the hybrid LU application."""
+
+    n: int
+    b: int
+    k: int
+    partition: LuStripePartition
+    balance: LuLoadBalance
+    prediction: Prediction
+    coordination_hz: float
+
+    @property
+    def nb(self) -> int:
+        return self.n // self.b
+
+
+@dataclass(frozen=True)
+class FwPlan:
+    """Every design decision for the hybrid Floyd-Warshall application."""
+
+    n: int
+    b: int
+    k: int
+    partition: FwPartition
+    prediction: Prediction
+    coordination_hz: float
+
+    @property
+    def nb(self) -> int:
+        return self.n // self.b
+
+
+class DesignModel:
+    """The paper's design model bound to one system characterisation."""
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.params = params
+
+    # -- step 3: placement policy --------------------------------------------
+
+    @staticmethod
+    def placement(kind: TaskKind) -> str:
+        """Where the model places a task kind: 'split', 'whole-task' or 'cpu'.
+
+        Compute-light tasks (opMS) stay on the processor; partitionable
+        compute-heavy tasks (opMM) are split; dependency-heavy tasks run
+        whole on one device, with counts tuned for balance.
+        """
+        return kind.placement_policy()
+
+    def placements(self, kinds: dict[str, TaskKind]) -> dict[str, str]:
+        """Placement policy for every kind in an application."""
+        return {name: self.placement(kind) for name, kind in kinds.items()}
+
+    # -- application plans --------------------------------------------------------
+
+    def plan_lu(
+        self,
+        n: int,
+        b: int,
+        k: int,
+        t_lu: float | None = None,
+        t_opl: float | None = None,
+        t_opu: float | None = None,
+    ) -> LuPlan:
+        """Full LU design: Eq. (4) partition, Eq. (5) balance, prediction.
+
+        Panel-routine latencies default to the model's own estimates from
+        the processor's sustained rate for gemm-class work; passing the
+        measured Table 1 values overrides them (the paper measures).
+        """
+        if n % b:
+            raise ValueError(f"b={b} must divide n={n}")
+        part = lu_stripe_partition(b, k, self.params)
+        cpu = self.params.cpu_flops
+        t_lu = ((2.0 / 3.0) * b**3 / cpu) if t_lu is None else t_lu
+        t_opl = (float(b) ** 3 / cpu) if t_opl is None else t_opl
+        t_opu = (float(b) ** 3 / cpu) if t_opu is None else t_opu
+        balance = lu_load_balance(part, t_lu, t_opl, t_opu, self.params)
+        pred = predict_lu(n, b, part, t_lu, t_opl, t_opu, self.params)
+        coord = (
+            lu_coordination_rate(part.b_f, b, self.params.p, self.params.f_f)
+            if part.b_f > 0
+            else 0.0
+        )
+        return LuPlan(
+            n=n, b=b, k=k, partition=part, balance=balance, prediction=pred, coordination_hz=coord
+        )
+
+    def plan_fw(self, n: int, b: int, k: int) -> FwPlan:
+        """Full FW design: Eq. (6) split and prediction."""
+        part = fw_partition(n, b, k, self.params)
+        pred = predict_fw(n, b, part, self.params)
+        coord = fw_coordination_rate(part.l2, part.t_f) if part.l2 > 0 else 0.0
+        return FwPlan(n=n, b=b, k=k, partition=part, prediction=pred, coordination_hz=coord)
+
+    # -- convenience ------------------------------------------------------------------
+
+    def lu_task_placements(self) -> dict[str, str]:
+        """The Section 5.1.2 decision table."""
+        return self.placements(LU_TASK_KINDS)
+
+    def fw_task_placements(self) -> dict[str, str]:
+        """The Section 5.2.2 decision table."""
+        return self.placements(FW_TASK_KINDS)

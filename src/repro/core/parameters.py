@@ -1,0 +1,119 @@
+"""System parameters of the design model (Section 4.1 of the paper).
+
+The paper characterises a reconfigurable computing system with seven
+parameters.  :class:`SystemParameters` carries exactly those, plus the
+per-node SRAM allocation that Section 6.1 uses as a constraint when
+choosing the block size ``b``.
+
+Notation (paper -> here):
+
+=========  =======================  =====================================
+Paper      Attribute                Meaning
+=========  =======================  =====================================
+``p``      ``p``                    number of nodes
+``O_f``    ``o_f``                  FPGA flops per clock cycle
+``F_f``    ``f_f``                  FPGA design clock (Hz)
+``O_p``    (folded into             processor flops per cycle; the paper
+           ``cpu_flops``)           only ever uses the product O_p * F_p
+``F_p``    ``f_p``                  processor clock (Hz), informational
+``B_d``    ``b_d``                  FPGA <-> DRAM bandwidth (bytes/s)
+``B_n``    ``b_n``                  node <-> node bandwidth (bytes/s)
+``b_w``    ``b_w``                  word width in bytes (8 for doubles)
+=========  =======================  =====================================
+
+The processor's *sustained* performance ``O_p * F_p`` is application
+dependent ("obtained by executing a sample program"), so it is stored
+directly as ``cpu_flops``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["SystemParameters"]
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """The paper's system characterisation for one application.
+
+    All rates are in base SI units (flops/s, bytes/s, Hz).
+    """
+
+    p: int  # number of nodes
+    o_f: float  # O_f: FPGA flops per cycle
+    f_f: float  # F_f: FPGA clock (Hz)
+    cpu_flops: float  # O_p * F_p: sustained processor flops/s
+    b_d: float  # B_d: FPGA-DRAM bandwidth (bytes/s)
+    b_n: float  # B_n: inter-node bandwidth (bytes/s)
+    b_w: int = 8  # word width (bytes)
+    f_p: float = 0.0  # F_p: processor clock, informational only
+    sram_bytes: int = 8 * 2**20  # per-node SRAM allocated to the design
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {self.p}")
+        for field_name in ("o_f", "f_f", "cpu_flops", "b_d", "b_n"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.b_w < 1:
+            raise ValueError(f"b_w must be >= 1, got {self.b_w}")
+        if self.sram_bytes < 0:
+            raise ValueError(f"sram_bytes must be >= 0, got {self.sram_bytes}")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def fpga_flops(self) -> float:
+        """O_f * F_f: the FPGA's computing power (flops/s)."""
+        return self.o_f * self.f_f
+
+    @property
+    def sram_words(self) -> int:
+        """Per-node SRAM capacity in b_w-wide words."""
+        return self.sram_bytes // self.b_w
+
+    @property
+    def node_flops(self) -> float:
+        """Combined per-node computing power (CPU + FPGA)."""
+        return self.cpu_flops + self.fpga_flops
+
+    @property
+    def system_flops(self) -> float:
+        """Aggregate computing power over all p nodes."""
+        return self.p * self.node_flops
+
+    # -- elementary time models ----------------------------------------------
+
+    def cpu_time(self, flops: float) -> float:
+        """T_p = N_p / (O_p * F_p) for ``flops`` operations."""
+        if flops < 0:
+            raise ValueError(f"negative flop count: {flops}")
+        return flops / self.cpu_flops
+
+    def fpga_time(self, flops: float) -> float:
+        """T_f = N_f / (O_f * F_f) for ``flops`` operations."""
+        if flops < 0:
+            raise ValueError(f"negative flop count: {flops}")
+        return flops / self.fpga_flops
+
+    def dram_time(self, nbytes: float) -> float:
+        """DRAM->FPGA streaming time D_f / B_d."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        return nbytes / self.b_d
+
+    def net_time(self, nbytes: float) -> float:
+        """Inter-node transfer time D_p / B_n."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        return nbytes / self.b_n
+
+    def words_time_net(self, nwords: float) -> float:
+        """Network time for ``nwords`` words of width b_w."""
+        return self.net_time(nwords * self.b_w)
+
+    def with_(self, **changes) -> "SystemParameters":
+        """A copy with the given fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)

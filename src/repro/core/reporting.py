@@ -1,0 +1,60 @@
+"""Plan reports: the Section 6.1 'implementation details' as text.
+
+Renders a :class:`~repro.core.model.LuPlan` / :class:`FwPlan` (and the
+underlying system parameters) the way the paper's implementation section
+narrates them -- used by the CLI and the examples, and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import table
+from .model import FwPlan, LuPlan
+from .parameters import SystemParameters
+
+__all__ = ["describe_parameters", "describe_lu_plan", "describe_fw_plan"]
+
+
+def describe_parameters(params: SystemParameters, title: str = "System parameters (Section 4.1)") -> str:
+    """The system characterisation as an aligned table."""
+    rows = [
+        ["p (nodes)", params.p],
+        ["O_f (FPGA ops/cycle)", params.o_f],
+        ["F_f (FPGA clock)", f"{params.f_f / 1e6:.0f} MHz"],
+        ["O_p x F_p (sustained CPU)", f"{params.cpu_flops / 1e9:.3g} GFLOPS"],
+        ["B_d (FPGA-DRAM)", f"{params.b_d / 1e9:.3g} GB/s"],
+        ["B_n (network)", f"{params.b_n / 1e9:.3g} GB/s"],
+        ["b_w (word)", f"{params.b_w} B"],
+        ["SRAM / node", f"{params.sram_bytes / 2**20:.0f} MB"],
+    ]
+    return table(["parameter", "value"], rows, title=title)
+
+
+def describe_lu_plan(plan: LuPlan) -> str:
+    """The LU design decisions, Table-1-style."""
+    part, bal = plan.partition, plan.balance
+    rows = [
+        ["matrix", f"{plan.n} x {plan.n}, b = {plan.b} ({plan.nb} blocks/dim)"],
+        ["Eq. 4 split", f"b_p = {part.b_p}, b_f = {part.b_f} (exact {part.b_f_exact:.1f})"],
+        ["stripe times", f"T_p {part.t_p * 1e3:.3f} ms, T_f {part.t_f * 1e3:.3f} ms, "
+                         f"T_comm {part.t_comm * 1e3:.3f} ms, T_mem {part.t_mem * 1e3:.3f} ms"],
+        ["Eq. 5 balance", f"l = {bal.l} (exact {bal.l_exact:.2f})"],
+        ["SRAM working set", f"{part.sram_words * 8 / 2**20:.2f} MB of intermediates"],
+        ["coordination", f"{plan.coordination_hz:.1f} handshakes/s"],
+        ["prediction", f"{plan.prediction.latency:.1f} s -> {plan.prediction.gflops:.2f} GFLOPS"],
+    ]
+    return table(["decision", "value"], rows, title="LU hybrid design plan (Section 5.1)")
+
+
+def describe_fw_plan(plan: FwPlan) -> str:
+    """The FW design decisions."""
+    part = plan.partition
+    rows = [
+        ["graph", f"{plan.n} vertices, b = {plan.b} ({plan.nb} blocks/dim)"],
+        ["Eq. 6 split", f"l1 = {part.l1}, l2 = {part.l2} per phase (exact l1 {part.l1_exact:.2f})"],
+        ["op times", f"T_p {part.t_p * 1e3:.1f} ms, T_f {part.t_f * 1e3:.1f} ms, "
+                     f"T_comm {part.t_comm * 1e3:.3f} ms, T_mem {part.t_mem * 1e3:.3f} ms"],
+        ["phase makespan", f"{part.phase_makespan * 1e3:.1f} ms"],
+        ["coordination", f"{plan.coordination_hz:.2f} handshakes/s"],
+        ["prediction", f"{plan.prediction.latency:.0f} s -> {plan.prediction.gflops:.2f} GFLOPS"],
+    ]
+    return table(["decision", "value"], rows, title="FW hybrid design plan (Section 5.2)")

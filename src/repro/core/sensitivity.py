@@ -1,0 +1,76 @@
+"""Sensitivity analysis of the design model's predictions.
+
+A practical companion to Section 4.5: which machine parameter is worth
+upgrading?  :func:`prediction_sensitivity` perturbs each
+:class:`~repro.core.parameters.SystemParameters` rate by a relative
+step and reports the elasticity of the predicted GFLOPS --
+``(dG/G) / (dp/p)`` -- so 1.0 means "GFLOPS scale one-for-one with this
+parameter" and ~0 means "not the bottleneck".
+
+The test suite pins the qualitative facts the model implies: FW on the
+XD1 is FPGA-bound (elastic in F_f, inelastic in B_n), and LU is mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .parameters import SystemParameters
+
+__all__ = ["Elasticity", "prediction_sensitivity", "TUNABLE_RATES"]
+
+#: The rate-like fields it makes sense to perturb.
+TUNABLE_RATES = ("cpu_flops", "f_f", "b_d", "b_n")
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """Relative response of a prediction to one parameter."""
+
+    parameter: str
+    base_value: float
+    base_gflops: float
+    perturbed_gflops: float
+    step: float  # relative perturbation applied
+
+    @property
+    def elasticity(self) -> float:
+        """(dG/G) / (dp/p); ~1 = linear bottleneck, ~0 = slack."""
+        if self.base_gflops == 0:
+            return 0.0
+        return ((self.perturbed_gflops - self.base_gflops) / self.base_gflops) / self.step
+
+
+def prediction_sensitivity(
+    params: SystemParameters,
+    predict: Callable[[SystemParameters], float],
+    step: float = 0.05,
+    parameters: tuple[str, ...] = TUNABLE_RATES,
+) -> list[Elasticity]:
+    """Elasticity of ``predict(params)`` (GFLOPS) w.r.t. each rate.
+
+    ``predict`` maps a :class:`SystemParameters` to predicted GFLOPS --
+    typically a closure over :func:`repro.core.prediction.predict_lu` or
+    ``predict_fw`` that re-partitions at each point (so the split adapts,
+    as a designer would).
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    base = predict(params)
+    out = []
+    for name in parameters:
+        if not hasattr(params, name):
+            raise ValueError(f"unknown parameter {name!r}")
+        value = getattr(params, name)
+        perturbed = predict(params.with_(**{name: value * (1.0 + step)}))
+        out.append(
+            Elasticity(
+                parameter=name,
+                base_value=value,
+                base_gflops=base,
+                perturbed_gflops=perturbed,
+                step=step,
+            )
+        )
+    return sorted(out, key=lambda e: -abs(e.elasticity))

@@ -1,0 +1,57 @@
+"""FPGA hardware-design substrate.
+
+Everything the paper gets from VHDL + Xilinx ISE, rebuilt as models:
+
+* :mod:`repro.hw.devices` -- datasheet resources of the FPGAs in Section 3,
+* :mod:`repro.hw.floating_point` -- the parameterised DP core library [8],
+* :mod:`repro.hw.synthesis` -- area/frequency estimation ("how many PEs
+  fit, at what clock?"),
+* :mod:`repro.hw.pe_array` / :mod:`repro.hw.mm_design` -- the matrix
+  multiplier array [21], cycle-level,
+* :mod:`repro.hw.fw_design` -- the Floyd-Warshall array [18], cycle-level.
+"""
+
+from .devices import DEVICES, XC2VP50, FpgaDevice, get_device
+from .floating_point import CORES, DP_ADDER, DP_COMPARATOR, DP_MULTIPLIER, FpCore
+from .fw_design import FW_DESIGN_SPEC, FW_PE, FloydWarshallDesign, fwi_reference
+from .mm_design import MM_DESIGN_SPEC, MM_PE, MatrixMultiplyDesign
+from .pe_array import LinearPEArray, TileResult
+from .pipeline import IssueRecord, PipelinedCore, min_interleave_for_full_rate
+from .synthesis import (
+    DesignSpec,
+    PeSpec,
+    SynthesisError,
+    SynthesisReport,
+    max_pes,
+    synthesize,
+)
+
+__all__ = [
+    "CORES",
+    "DEVICES",
+    "DP_ADDER",
+    "DP_COMPARATOR",
+    "DP_MULTIPLIER",
+    "DesignSpec",
+    "FW_DESIGN_SPEC",
+    "FW_PE",
+    "FloydWarshallDesign",
+    "FpCore",
+    "FpgaDevice",
+    "LinearPEArray",
+    "MM_DESIGN_SPEC",
+    "MM_PE",
+    "MatrixMultiplyDesign",
+    "PeSpec",
+    "PipelinedCore",
+    "IssueRecord",
+    "SynthesisError",
+    "SynthesisReport",
+    "TileResult",
+    "XC2VP50",
+    "fwi_reference",
+    "get_device",
+    "max_pes",
+    "min_interleave_for_full_rate",
+    "synthesize",
+]

@@ -1,0 +1,74 @@
+"""FPGA device catalog.
+
+Resource figures for the devices named in Section 3 of the paper.  Numbers
+are the vendor datasheet values for slices, 18-Kbit block RAMs and 18x18
+embedded multipliers (or DSP48s on Virtex-4); they are used by the
+synthesis estimator (:mod:`repro.hw.synthesis`) to answer the question the
+paper answers empirically: *how many processing elements fit on the chip,
+and at what clock rate?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FpgaDevice", "DEVICES", "XC2VP50", "get_device"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Static resources of an FPGA part.
+
+    Attributes
+    ----------
+    name:
+        Vendor part number, e.g. ``"XC2VP50"``.
+    family:
+        Device family, e.g. ``"Virtex-II Pro"``.
+    slices:
+        Number of logic slices.
+    bram_kbits:
+        Total block RAM, in kilobits.
+    multipliers:
+        Embedded 18x18 multiplier blocks (DSP48 slices on Virtex-4).
+    """
+
+    name: str
+    family: str
+    slices: int
+    bram_kbits: int
+    multipliers: int
+
+    @property
+    def bram_bytes(self) -> int:
+        """Usable on-chip memory in bytes."""
+        return self.bram_kbits * 1024 // 8
+
+    def bram_words(self, word_bytes: int = 8) -> int:
+        """On-chip memory capacity in ``word_bytes``-wide words."""
+        return self.bram_bytes // word_bytes
+
+
+# The FPGA on each Cray XD1 compute blade (the paper's implementation part).
+XC2VP50 = FpgaDevice("XC2VP50", "Virtex-II Pro", slices=23_616, bram_kbits=4_176, multipliers=232)
+
+DEVICES: dict[str, FpgaDevice] = {
+    dev.name: dev
+    for dev in [
+        XC2VP50,
+        # Larger Virtex-II Pro used by SRC MAP stations.
+        FpgaDevice("XC2VP100", "Virtex-II Pro", slices=44_096, bram_kbits=7_992, multipliers=444),
+        # Virtex-4 parts used by DRC modules (Cray XT3) and SGI RASC RC100.
+        FpgaDevice("XC4VLX60", "Virtex-4", slices=26_624, bram_kbits=2_880, multipliers=64),
+        FpgaDevice("XC4VLX160", "Virtex-4", slices=67_584, bram_kbits=5_184, multipliers=96),
+        FpgaDevice("XC4VLX200", "Virtex-4", slices=89_088, bram_kbits=6_048, multipliers=96),
+    ]
+}
+
+
+def get_device(name: str) -> FpgaDevice:
+    """Look up a device by part number; raises ``KeyError`` with choices."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown FPGA device {name!r}; available: {sorted(DEVICES)}") from None

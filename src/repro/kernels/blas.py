@@ -1,0 +1,112 @@
+"""Dense linear-algebra kernels (the ACML-routine substitutes).
+
+Functional equivalents of the routines the paper's C program calls --
+``dgemm``, ``dgetrf`` (no pivoting) and ``dtrsm`` -- implemented with
+NumPy.  The triangular solves are written as explicit block-forward/
+backward substitutions rather than generic ``scipy.linalg.solve`` calls
+so that their operation order matches what the LU task graph assumes
+(and so they work on the exact task shapes opL/opU produce).
+
+All functions are pure (inputs never mutated) unless named ``*_inplace``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gemm",
+    "getrf_nopiv",
+    "split_lu",
+    "trsm_lower_left_unit",
+    "trsm_upper_right",
+]
+
+
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, alpha: float = 1.0, beta: float = 1.0) -> np.ndarray:
+    """C = alpha * A @ B + beta * C (C optional); the dgemm substitute."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible gemm shapes {a.shape} x {b.shape}")
+    prod = alpha * (a @ b)
+    if c is None:
+        return prod
+    c = np.asarray(c, dtype=np.float64)
+    if c.shape != prod.shape:
+        raise ValueError(f"C shape {c.shape} does not match product {prod.shape}")
+    return prod + beta * c
+
+
+def getrf_nopiv(a: np.ndarray) -> np.ndarray:
+    """LU factorisation without pivoting; returns packed LU.
+
+    The unit-lower factor L is stored below the diagonal (implicit unit
+    diagonal) and U on and above it, LAPACK style.  The input must be
+    square and is assumed nonsingular without pivoting -- the paper's
+    standing assumption (Section 5.1).  A zero (or numerically tiny)
+    pivot raises ``ZeroDivisionError``.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    n, m = a.shape
+    if n != m:
+        raise ValueError(f"getrf requires a square matrix, got {a.shape}")
+    tiny = np.finfo(np.float64).tiny
+    for j in range(n - 1):
+        pivot = a[j, j]
+        if abs(pivot) <= tiny:
+            raise ZeroDivisionError(
+                f"zero pivot at column {j}: matrix requires pivoting, "
+                "which the paper's designs (and this kernel) do not perform"
+            )
+        a[j + 1 :, j] /= pivot
+        a[j + 1 :, j + 1 :] -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+    return a
+
+
+def split_lu(lu: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack a packed LU into explicit (L, U) with unit diagonal on L."""
+    lu = np.asarray(lu, dtype=np.float64)
+    n, m = lu.shape
+    if n != m:
+        raise ValueError(f"packed LU must be square, got {lu.shape}")
+    lower = np.tril(lu, k=-1) + np.eye(n)
+    upper = np.triu(lu)
+    return lower, upper
+
+
+def trsm_lower_left_unit(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` with L unit lower triangular (the opU routine).
+
+    Computes ``X = L^{-1} B`` by forward substitution; this is how step 2
+    of the block LU algorithm forms ``U_01 = (L_00)^{-1} A_01``.
+    """
+    lower = np.asarray(lower, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = lower.shape[0]
+    if lower.shape != (n, n) or b.shape[0] != n:
+        raise ValueError(f"incompatible trsm shapes {lower.shape}, {b.shape}")
+    x = np.array(b, copy=True)
+    for i in range(1, n):
+        x[i, :] -= lower[i, :i] @ x[:i, :]
+    return x
+
+
+def trsm_upper_right(upper: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``X U = B`` with U upper triangular (the opL routine).
+
+    Computes ``X = B U^{-1}`` by column-forward substitution; this is how
+    step 1 forms ``L_10 = A_10 (U_00)^{-1}``.
+    """
+    upper = np.asarray(upper, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = upper.shape[0]
+    if upper.shape != (n, n) or b.shape[1] != n:
+        raise ValueError(f"incompatible trsm shapes {upper.shape}, {b.shape}")
+    tiny = np.finfo(np.float64).tiny
+    x = np.array(b, copy=True)
+    for j in range(n):
+        if abs(upper[j, j]) <= tiny:
+            raise ZeroDivisionError(f"singular U at column {j}")
+        x[:, j] = (x[:, j] - x[:, :j] @ upper[:j, j]) / upper[j, j]
+    return x

@@ -1,0 +1,102 @@
+"""Graph-workload generators for the Floyd-Warshall application.
+
+The paper evaluates FW on a generic n-vertex weighted digraph; real
+all-pairs workloads differ in structure (road-network-like grids, hub
+topologies, sparse random graphs).  These generators produce distance
+matrices with the right invariants (zero diagonal, non-negative
+weights, inf non-edges) so examples and tests can exercise the designs
+on recognisable inputs.  FW's running time is structure-oblivious --
+2 n^3 flops regardless -- which the tests confirm (the counts don't
+change), but correctness checks on varied structure are much stronger
+than on uniform noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["grid_graph", "hub_and_spoke", "layered_dag", "ring_of_cliques"]
+
+
+def _empty(n: int) -> np.ndarray:
+    d = np.full((n, n), np.inf)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def grid_graph(rows: int, cols: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """A rows x cols 4-neighbour grid with random positive edge weights
+    (both directions, independently weighted) -- road-network-like."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    rng = np.random.default_rng() if rng is None else rng
+    n = rows * cols
+    d = _empty(n)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols:
+                    d[vid(r, c), vid(rr, cc)] = rng.uniform(1.0, 4.0)
+                    d[vid(rr, cc), vid(r, c)] = rng.uniform(1.0, 4.0)
+    return d
+
+
+def hub_and_spoke(n: int, hubs: int = 2, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Every vertex connects to/from ``hubs`` hub vertices; hubs
+    interconnect -- an airline-style topology with 2-hop paths."""
+    if n < 2 or not 1 <= hubs < n:
+        raise ValueError(f"need 1 <= hubs < n with n >= 2, got n={n}, hubs={hubs}")
+    rng = np.random.default_rng() if rng is None else rng
+    d = _empty(n)
+    hub_ids = list(range(hubs))
+    for h in hub_ids:
+        for g in hub_ids:
+            if h != g:
+                d[h, g] = rng.uniform(1.0, 2.0)
+    for v in range(hubs, n):
+        for h in hub_ids:
+            d[v, h] = rng.uniform(1.0, 5.0)
+            d[h, v] = rng.uniform(1.0, 5.0)
+    return d
+
+
+def layered_dag(layers: int, width: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """A forward-only layered graph (pipeline/scheduling flavour):
+    every vertex connects to all of the next layer."""
+    if layers < 2 or width < 1:
+        raise ValueError("need layers >= 2 and width >= 1")
+    rng = np.random.default_rng() if rng is None else rng
+    n = layers * width
+    d = _empty(n)
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                src = layer * width + i
+                dst = (layer + 1) * width + j
+                d[src, dst] = rng.uniform(0.5, 3.0)
+    return d
+
+
+def ring_of_cliques(cliques: int, size: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Dense clusters joined in a ring by single bridges -- a topology
+    whose shortest paths traverse many blocks (stresses op3 chains)."""
+    if cliques < 2 or size < 1:
+        raise ValueError("need cliques >= 2 and size >= 1")
+    rng = np.random.default_rng() if rng is None else rng
+    n = cliques * size
+    d = _empty(n)
+    for c in range(cliques):
+        base = c * size
+        for i in range(size):
+            for j in range(size):
+                if i != j:
+                    d[base + i, base + j] = rng.uniform(0.5, 1.5)
+        nxt = ((c + 1) % cliques) * size
+        d[base, nxt] = rng.uniform(2.0, 4.0)
+        d[nxt, base] = rng.uniform(2.0, 4.0)
+    return d

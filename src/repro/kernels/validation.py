@@ -1,0 +1,84 @@
+"""Numerical validation helpers used by tests and examples.
+
+Residual checks for LU, ground-truth comparisons for shortest paths
+(against :mod:`scipy.sparse.csgraph`), and well-conditioned random
+problem generators (diagonally dominant matrices so that no-pivoting LU
+-- the paper's standing assumption -- is numerically safe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.csgraph import floyd_warshall as scipy_floyd_warshall
+
+from .blas import split_lu
+
+__all__ = [
+    "random_dd_matrix",
+    "random_distance_matrix",
+    "lu_residual",
+    "scipy_shortest_paths",
+    "max_abs_diff",
+]
+
+
+def random_dd_matrix(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """A random diagonally dominant n x n matrix (LU-safe without pivoting)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng() if rng is None else rng
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    a[np.diag_indices(n)] = np.abs(a).sum(axis=1) + 1.0
+    return a
+
+
+def random_distance_matrix(
+    n: int,
+    rng: np.random.Generator | None = None,
+    density: float = 0.4,
+    max_weight: float = 10.0,
+) -> np.ndarray:
+    """A random directed non-negative adjacency matrix with inf non-edges.
+
+    Diagonal is zero; roughly ``density`` of the off-diagonal entries
+    carry finite weights in (0, max_weight].
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng() if rng is None else rng
+    d = np.full((n, n), np.inf)
+    mask = rng.random((n, n)) < density
+    d[mask] = rng.uniform(0.1, max_weight, size=int(mask.sum()))
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def lu_residual(a: np.ndarray, lu_packed: np.ndarray) -> float:
+    """Relative factorisation residual ``||L U - A|| / ||A||``."""
+    lower, upper = split_lu(lu_packed)
+    a = np.asarray(a, dtype=np.float64)
+    denom = np.linalg.norm(a)
+    if denom == 0:
+        return float(np.linalg.norm(lower @ upper))
+    return float(np.linalg.norm(lower @ upper - a) / denom)
+
+
+def scipy_shortest_paths(d: np.ndarray) -> np.ndarray:
+    """Ground-truth all-pairs shortest paths via scipy's Floyd-Warshall."""
+    adj = np.array(d, dtype=np.float64, copy=True)
+    return scipy_floyd_warshall(adj)
+
+
+def max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest absolute elementwise difference, treating inf == inf."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    both_inf = np.isinf(a) & np.isinf(b) & (np.sign(a) == np.sign(b))
+    with np.errstate(invalid="ignore"):
+        diff = np.abs(a - b)
+    diff[both_inf] = 0.0  # inf - inf would be NaN; equal infinities match
+    return float(diff.max()) if diff.size else 0.0

@@ -1,0 +1,92 @@
+"""General-purpose processor model.
+
+The paper treats the processor as a black box with an application-
+dependent *sustained* floating-point rate ``O_p * F_p``, obtained by
+running a sample program (Section 4.1).  :class:`ProcessorSpec` is the
+declarative description (clock + a calibration table of sustained rates
+per kernel); the live per-node execution object is built by
+:class:`repro.machine.node.ComputeNode`.
+
+The Opteron calibration reproduces the paper's measurements:
+
+* ``dgemm``  : 3.9 GFLOPS (ACML dgemm at matrix size 2048),
+* ``dgetrf`` : (2/3) * 3000^3 flops in 4.9 s  (Table 1, opLU),
+* ``dtrsm``  : 3000^3 flops in 7.1 s          (Table 1, opL / opU),
+* ``fw``     : 190 MFLOPS (regular Floyd-Warshall on a 256 x 256 block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["ProcessorSpec", "OPTERON_2_2GHZ", "CalibrationError"]
+
+
+class CalibrationError(KeyError):
+    """No sustained rate is calibrated for the requested kernel."""
+
+
+def _frozen(d: dict) -> Mapping[str, float]:
+    return MappingProxyType(dict(d))
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A processor described by clock rate and sustained kernel rates.
+
+    ``sustained`` maps kernel names (``"dgemm"``, ``"dgetrf"``, ``"dtrsm"``,
+    ``"fw"``, ...) to sustained flops/s for that kernel on this processor.
+    """
+
+    name: str
+    clock_hz: float
+    sustained: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_hz}")
+        for kernel, rate in self.sustained.items():
+            if rate <= 0:
+                raise ValueError(f"sustained rate for {kernel!r} must be positive, got {rate}")
+        object.__setattr__(self, "sustained", _frozen(dict(self.sustained)))
+
+    def sustained_flops(self, kernel: str) -> float:
+        """Sustained rate for ``kernel`` (flops/s)."""
+        try:
+            return self.sustained[kernel]
+        except KeyError:
+            raise CalibrationError(
+                f"processor {self.name!r} has no calibration for kernel {kernel!r}; "
+                f"calibrated: {sorted(self.sustained)}"
+            ) from None
+
+    def kernel_time(self, kernel: str, flops: float) -> float:
+        """Execution time of ``flops`` operations of ``kernel``."""
+        if flops < 0:
+            raise ValueError(f"negative flop count: {flops}")
+        return flops / self.sustained_flops(kernel)
+
+    def with_rate(self, kernel: str, flops_per_s: float) -> "ProcessorSpec":
+        """A copy with one kernel's sustained rate added/overridden."""
+        rates = dict(self.sustained)
+        rates[kernel] = flops_per_s
+        return ProcessorSpec(self.name, self.clock_hz, rates)
+
+
+#: The 2.2 GHz AMD Opteron of the Cray XD1 compute blade, calibrated
+#: against every measurement the paper reports for it.
+OPTERON_2_2GHZ = ProcessorSpec(
+    name="AMD Opteron 2.2 GHz",
+    clock_hz=2.2e9,
+    sustained={
+        "dgemm": 3.9e9,
+        # Table 1: opLU (dgetrf on 3000x3000, (2/3) b^3 flops) takes 4.9 s.
+        "dgetrf": (2.0 / 3.0) * 3000**3 / 4.9,
+        # Table 1: opL/opU (dtrsm, b^3 flops) take 7.1 s.
+        "dtrsm": 3000**3 / 7.1,
+        # Section 6.1: regular FW on a 256-block sustains 190 MFLOPS.
+        "fw": 190e6,
+    },
+)

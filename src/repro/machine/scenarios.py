@@ -1,0 +1,80 @@
+"""Machine-variant scenarios for what-if studies.
+
+Small, composable transformations of a :class:`~repro.machine.system.
+MachineSpec` used by the ablation benchmarks and capacity-planning
+examples: degraded memory paths, slower/faster networks, scaled
+processors, mixed-generation chassis descriptions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .processor import ProcessorSpec
+from .system import MachineSpec
+
+__all__ = [
+    "with_fpga_dram_bandwidth",
+    "with_network_bandwidth",
+    "with_scaled_processor",
+    "with_sram_capacity",
+]
+
+
+def with_fpga_dram_bandwidth(spec: MachineSpec, bandwidth: float) -> MachineSpec:
+    """The same machine with the FPGA<->DRAM hardware path changed.
+
+    The effective B_d remains ``min(8 F_f, bandwidth)`` per node once a
+    design is configured.
+    """
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    fpga = dataclasses.replace(spec.node.fpga, dram_link_bandwidth=bandwidth)
+    node = dataclasses.replace(spec.node, fpga=fpga)
+    return dataclasses.replace(
+        spec, node=node, name=f"{spec.name} (B_d path {bandwidth / 1e9:.2g} GB/s)"
+    )
+
+
+def with_network_bandwidth(spec: MachineSpec, bandwidth: float, links: int | None = None) -> MachineSpec:
+    """The same machine with different per-link network bandwidth."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    network = dataclasses.replace(
+        spec.network,
+        bandwidth=bandwidth,
+        links_per_node=spec.network.links_per_node if links is None else links,
+    )
+    return dataclasses.replace(
+        spec, network=network, name=f"{spec.name} (B_n {bandwidth / 1e9:.2g} GB/s)"
+    )
+
+
+def with_scaled_processor(spec: MachineSpec, factor: float) -> MachineSpec:
+    """The same machine with every sustained processor rate scaled.
+
+    Models a CPU generation change while keeping the FPGA fixed -- the
+    scenario behind the paper's observation that the best split shifts
+    with relative device power.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    old = spec.node.processor
+    proc = ProcessorSpec(
+        name=f"{old.name} x{factor:g}",
+        clock_hz=old.clock_hz * factor,
+        sustained={k: v * factor for k, v in old.sustained.items()},
+    )
+    node = dataclasses.replace(spec.node, processor=proc)
+    return dataclasses.replace(spec, node=node, name=f"{spec.name} (CPU x{factor:g})")
+
+
+def with_sram_capacity(spec: MachineSpec, capacity_bytes: int) -> MachineSpec:
+    """The same machine with a different per-node SRAM allocation."""
+    if capacity_bytes < 1:
+        raise ValueError(f"capacity must be >= 1 byte, got {capacity_bytes}")
+    sram = dataclasses.replace(spec.node.sram, capacity_bytes=capacity_bytes)
+    node = dataclasses.replace(spec.node, sram=sram)
+    return dataclasses.replace(
+        spec, node=node, name=f"{spec.name} (SRAM {capacity_bytes // 2**20} MB)"
+    )

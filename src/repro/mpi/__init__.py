@@ -1,0 +1,11 @@
+"""Simulated MPI layer (substrate).
+
+Provides the communication patterns the paper's C+MPI implementation
+uses, with wire timing from the simulated interconnect and the paper's
+"communication is processor time" accounting (Section 4.3).
+"""
+
+from .comm import Communicator, RankView
+from .message import Message, payload_bytes
+
+__all__ = ["Communicator", "Message", "RankView", "payload_bytes"]

@@ -1,0 +1,43 @@
+"""Message envelope and payload sizing for the simulated MPI layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "payload_bytes"]
+
+
+def payload_bytes(data: Any, word_bytes: int = 8) -> int:
+    """Wire size of a payload.
+
+    NumPy arrays report their true buffer size; scalars cost one word;
+    ``None`` (pure synchronisation) costs zero; anything else costs one
+    word per element if sized, else one word.  Timing-mode schedules
+    usually pass explicit byte counts instead.
+    """
+    if data is None:
+        return 0
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (int, float, complex, np.generic)):
+        return word_bytes
+    try:
+        return word_bytes * len(data)  # type: ignore[arg-type]
+    except TypeError:
+        return word_bytes
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message in flight or delivered."""
+
+    src: int
+    dst: int
+    tag: Any
+    data: Any
+    nbytes: int
+    sent_at: float = field(default=0.0, compare=False)
+    delivered_at: float = field(default=0.0, compare=False)

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+This package is the timing backbone of the reproduction: the machine
+models in :mod:`repro.machine`, the MPI layer in :mod:`repro.mpi` and the
+application schedules in :mod:`repro.apps` all execute as cooperative
+processes on this engine.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    ProcessFailure,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import BandwidthChannel, Request, Resource, Store
+from .trace import CausalityViolation, Interval, Trace, merge
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthChannel",
+    "CausalityViolation",
+    "Event",
+    "Interval",
+    "Process",
+    "ProcessFailure",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "Trace",
+    "merge",
+]

@@ -1,0 +1,380 @@
+"""Discrete-event simulation core.
+
+A minimal, self-contained process-based discrete-event engine in the style
+of SimPy, tailored for modelling reconfigurable computing systems.  The
+engine provides:
+
+* :class:`Simulator` -- the event loop with a virtual clock,
+* :class:`Event` -- one-shot triggers carrying a value,
+* :class:`Process` -- generator-based cooperative processes,
+* :class:`Timeout` -- events that fire after a simulated delay,
+* :class:`AllOf` / :class:`AnyOf` -- event combinators.
+
+Processes are plain Python generators that ``yield`` events.  When an event
+fires, the process resumes and receives the event's value as the result of
+the ``yield`` expression::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(3.0)        # advance 3 simulated seconds
+        value = yield some_event      # block until the event fires
+        ...
+
+    sim.process(worker(sim))
+    sim.run()
+
+The engine is deterministic: events scheduled for the same time fire in
+the order in which they were scheduled (a monotone sequence number breaks
+ties), which makes traces reproducible across runs -- a property the test
+suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "SimulationError",
+    "ProcessFailure",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation API."""
+
+
+class ProcessFailure(SimulationError):
+    """Raised from :meth:`Simulator.run` when a process raised an exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    *triggers* them, after which their callbacks run inside the event loop
+    at the current simulation time.  An event can only be triggered once.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_ok", "_triggered", "_processed", "callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self.callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (meaningless before triggering)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exc``."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._post(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately, preserving at-least-once semantics for late waiters.
+        """
+        if self._processed:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._post(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The process event's value is the generator's return value, so processes
+    can be composed: one process may ``yield`` another to wait for it and
+    collect its result.
+    """
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not isinstance(generator, Generator):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume for the first time via an immediately-fired event.
+        init = Event(sim, name=f"init:{self.name}")
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's value."""
+        self._target = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # The process died.  Fail the process event so waiters see it;
+            # if nobody is waiting, the simulator surfaces it from run().
+            try:
+                self.fail(exc)
+            except SimulationError:
+                pass
+            if not self.callbacks:
+                self.sim._crashed.append((self, exc))
+            return
+        if not isinstance(target, Event):
+            exc2 = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event instances"
+            )
+            self.fail(exc2)
+            if not self.callbacks:
+                self.sim._crashed.append((self, exc2))
+            return
+        if target.sim is not self.sim:
+            exc3 = SimulationError(f"process {self.name!r} yielded an event from another simulator")
+            self.fail(exc3)
+            if not self.callbacks:
+                self.sim._crashed.append((self, exc3))
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf combinators."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str) -> None:
+        super().__init__(sim, name=name)
+        self.events: tuple[Event, ...] = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            for ev in self.events:
+                ev.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* constituent events have fired.
+
+    Value: dict mapping each event to its value.  Fails fast if any
+    constituent fails.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, name="all_of")
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when *any* constituent event has fired.
+
+    Value: dict of the events that have fired so far (at least one).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, name="any_of")
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.
+    trace:
+        Optional :class:`repro.sim.trace.Trace` attached by the caller; the
+        engine itself never writes to it, components do.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._crashed: list[tuple[Process, BaseException]] = []
+        self.trace = None  # set by callers that want tracing
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def _step(self) -> None:
+        time, _, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for fn in callbacks:
+            fn(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or ``until`` is reached.
+
+        Returns the final simulation time.  If any process raised an
+        exception that no other process consumed, a :class:`ProcessFailure`
+        chaining the first such exception is raised.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self._step()
+            if self._crashed:
+                proc, exc = self._crashed[0]
+                # A failure is "consumed" if some other process was waiting
+                # on the failed process event (its callbacks were drained).
+                raise ProcessFailure(f"process {proc.name!r} failed at t={self._now:g}") from exc
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

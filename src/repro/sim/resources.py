@@ -1,0 +1,225 @@
+"""Shared-resource primitives for the simulation engine.
+
+Three primitives cover everything the machine models need:
+
+* :class:`Resource` -- a counted resource with FIFO queuing (a processor
+  core, an FPGA fabric, a DMA engine, a NIC port),
+* :class:`Store` -- an unbounded or bounded FIFO of items (mailboxes,
+  message queues between simulated processes),
+* :class:`BandwidthChannel` -- a serialising pipe that turns byte counts
+  into occupancy time (DRAM ports, SRAM ports, network links).
+
+All blocking operations return :class:`~repro.sim.core.Event` objects to be
+``yield``-ed from processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "Store", "BandwidthChannel"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource", "amount")
+
+    def __init__(self, resource: "Resource", amount: int) -> None:
+        super().__init__(resource.sim, name=f"request:{resource.name}")
+        self.resource = resource
+        self.amount = amount
+
+
+class Resource:
+    """A counted, FIFO-granted resource.
+
+    ``capacity`` units exist; a request for ``amount`` units blocks until
+    that many are free *and* all earlier requests have been granted (strict
+    FIFO, no overtaking -- keeps traces deterministic and prevents
+    starvation of large requests).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    def request(self, amount: int = 1) -> Request:
+        """Claim ``amount`` units; yield the returned event to block."""
+        if amount < 1 or amount > self.capacity:
+            raise ValueError(f"cannot request {amount} of {self.capacity} units of {self.name!r}")
+        req = Request(self, amount)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units previously granted."""
+        if amount < 1 or amount > self._in_use:
+            raise SimulationError(
+                f"release({amount}) on {self.name!r} with only {self._in_use} in use"
+            )
+        self._in_use -= amount
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and self._queue[0].amount <= self.capacity - self._in_use:
+            req = self._queue.popleft()
+            self._in_use += req.amount
+            req.succeed(req)
+
+
+class Store:
+    """A FIFO buffer of Python objects with blocking get/put.
+
+    With a finite ``capacity``, :meth:`put` blocks while full; :meth:`get`
+    blocks while empty.  Used as the mailbox under the simulated MPI layer.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = "store") -> None:
+        if capacity < 1:
+            raise ValueError("store capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """A read-only snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; yield the event to block until accepted."""
+        ev = Event(self.sim, name=f"put:{self.name}")
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; the event's value is the item."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        moved = True
+        while moved:
+            moved = False
+            # Admit puts while there is room.
+            while self._putters and len(self._items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self._items.append(item)
+                ev.succeed(item)
+                moved = True
+            # Serve gets while items exist.
+            while self._getters and self._items:
+                ev = self._getters.popleft()
+                ev.succeed(self._items.popleft())
+                moved = True
+
+
+class BandwidthChannel:
+    """A serialising data pipe: moving ``nbytes`` occupies it ``nbytes/bw`` s.
+
+    Models a DRAM port, an SRAM port, or one direction of a network link.
+    Transfers are granted FIFO; an optional fixed per-transfer ``latency``
+    is paid before the bandwidth term (used for network links; the paper's
+    model omits memory latency because data are streamed, so memory
+    channels use ``latency=0``).
+
+    The channel accumulates ``busy_time`` and ``bytes_moved`` for
+    utilisation reporting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        name: str = "channel",
+        latency: float = 0.0,
+        trace_category: Optional[str] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.trace_category = trace_category
+        self._lock = Resource(sim, capacity=1, name=f"{name}.lock")
+        self.busy_time = 0.0
+        self.bytes_moved = 0.0
+        self.transfer_count = 0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Pure service time for ``nbytes`` (no queuing)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float, label: str = ""):
+        """Process generator performing a transfer; yield from a process.
+
+        Usage::
+
+            yield from channel.transfer(8 * 1024)
+
+        or spawn it to overlap with other work::
+
+            done = sim.process(channel.transfer(nbytes))
+            ...                  # other events
+            yield done
+        """
+        service = self.transfer_time(nbytes)
+        req = self._lock.request()
+        yield req
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(service)
+        finally:
+            self._lock.release()
+        self.busy_time += self.sim.now - start
+        self.bytes_moved += nbytes
+        self.transfer_count += 1
+        if self.sim.trace is not None and self.trace_category is not None:
+            self.sim.trace.record(
+                self.trace_category, label or self.name, start, self.sim.now, nbytes=nbytes
+            )
+        return service
+
+    def utilisation(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time busy over ``horizon`` (default: now)."""
+        horizon = self.sim.now if horizon is None else horizon
+        return 0.0 if horizon <= 0 else min(1.0, self.busy_time / horizon)

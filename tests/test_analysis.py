@@ -1,0 +1,105 @@
+"""Tests for the analysis utilities (series, figures, tables)."""
+
+import pytest
+
+from repro.analysis import Series, bar_chart, comparison_row, line_chart, percent, sweep, table
+
+
+# ------------------------------------------------------------------ Series
+
+
+def test_sweep_builds_series():
+    s = sweep("sq", [1, 2, 3], lambda x: x * x)
+    assert len(s) == 3
+    assert list(s) == [(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]
+    assert s.y_min == 1.0 and s.y_max == 9.0
+
+
+def test_argmin_argmax():
+    s = Series("x", [0, 1, 2, 3], [5.0, 2.0, 3.0, 9.0])
+    assert s.argmin() == 1
+    assert s.argmax() == 3
+    with pytest.raises(ValueError):
+        Series("empty").argmin()
+
+
+def test_monotone_detection():
+    assert Series("up", [0, 1, 2], [1.0, 2.0, 3.0]).is_monotone_increasing()
+    assert not Series("down", [0, 1, 2], [3.0, 2.0, 1.0]).is_monotone_increasing()
+    assert Series("near", [0, 1], [1.0, 0.999]).is_monotone_increasing(tol=0.01)
+
+
+def test_u_shape_detection():
+    assert Series("u", [0, 1, 2, 3, 4], [5.0, 3.0, 1.0, 2.0, 4.0]).is_u_shaped()
+    assert not Series("up", [0, 1, 2], [1.0, 2.0, 3.0]).is_u_shaped()
+    assert not Series("zig", [0, 1, 2, 3], [3.0, 1.0, 2.0, 1.5]).is_u_shaped()
+    assert not Series("short", [0, 1], [1.0, 2.0]).is_u_shaped()
+
+
+# ------------------------------------------------------------------ charts
+
+
+def test_line_chart_renders_marks():
+    s = sweep("lat", [0, 1, 2], lambda x: x + 1)
+    text = line_chart([s], "T", height=5, width=20, x_label="x", y_label="y")
+    assert "T" in text and "o" in text and "[x]" in text and "[y]" in text
+
+
+def test_line_chart_multiple_series_legend():
+    s1 = sweep("a", [0, 1], lambda x: x)
+    s2 = sweep("b", [0, 1], lambda x: 1 - x)
+    text = line_chart([s1, s2], "T")
+    assert "o = a" in text and "x = b" in text
+
+
+def test_line_chart_degenerate():
+    assert "(no data)" in line_chart([Series("e")], "T")
+    flat = sweep("f", [1.0], lambda x: 2.0)
+    assert "T" in line_chart([flat], "T")  # single point must not crash
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart(["a", "bb"], [10.0, 5.0], "T", width=20)
+    lines = text.splitlines()
+    assert lines[1].count("#") == 20
+    assert lines[2].count("#") == 10
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0], "T")
+    assert "(no data)" in bar_chart([], [], "T")
+
+
+def test_bar_chart_zero_values():
+    text = bar_chart(["z"], [0.0], "T")
+    assert "0" in text
+
+
+# ------------------------------------------------------------------ tables
+
+
+def test_table_alignment():
+    text = table(["name", "value"], [["x", 1.0], ["long-name", 123456.0]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert all(len(line) >= len("name  value") for line in lines[:2])
+
+
+def test_table_with_title_and_float_formats():
+    text = table(["v"], [[0.00001], [3.14159], [0.0]], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "1e-05" in text
+    assert "3.142" in text
+
+
+def test_table_row_mismatch():
+    with pytest.raises(ValueError):
+        table(["a", "b"], [["only-one"]])
+
+
+def test_percent_and_comparison_row():
+    assert percent(0.962) == "96.2%"
+    row = comparison_row("hybrid", 20.0, 19.4, "close")
+    assert row[0] == "hybrid"
+    assert row[3] == "0.97x"

@@ -1,0 +1,95 @@
+"""Tests for block-size selection (Section 6.1 reasoning)."""
+
+import pytest
+
+from repro.core import (
+    SystemParameters,
+    choose_fw_block_size,
+    fw_block_size_bound,
+    lu_block_candidates,
+    max_lu_block_size,
+)
+
+
+def lu_params(**over):
+    base = dict(p=6, o_f=16, f_f=130e6, cpu_flops=3.9e9, b_d=1.04e9, b_n=2e9)
+    base.update(over)
+    return SystemParameters(**base)
+
+
+def fw_params(**over):
+    base = dict(p=6, o_f=16, f_f=120e6, cpu_flops=190e6, b_d=960e6, b_n=2e9)
+    base.update(over)
+    return SystemParameters(**base)
+
+
+# ------------------------------------------------------------------- LU
+
+
+def test_paper_block_size_is_feasible():
+    cands = {c.b: c for c in lu_block_candidates(lu_params(), 8)}
+    assert 3000 in cands
+    assert cands[3000].feasible
+    # The unconstrained Eq. 4 split at b=3000 fits in 8 MB with room.
+    assert cands[3000].sram_words_needed < lu_params().sram_words
+
+
+def test_candidates_respect_divisibility():
+    for c in lu_block_candidates(lu_params(), 8, b_max=2000):
+        assert c.b % 8 == 0
+        assert c.b % 5 == 0  # p - 1
+
+
+def test_max_block_size_bounded_by_sram():
+    b_star = max_lu_block_size(lu_params(), 8)
+    assert 3000 <= b_star < 4200
+    cands = {c.b: c for c in lu_block_candidates(lu_params(), 8)}
+    next_b = b_star + 40  # the lcm step
+    if next_b in cands:
+        assert not cands[next_b].feasible
+
+
+def test_bigger_sram_allows_bigger_blocks():
+    small = max_lu_block_size(lu_params(), 8)
+    big = max_lu_block_size(lu_params(sram_bytes=64 * 2**20), 8)
+    assert big > small
+
+
+def test_no_feasible_block_raises():
+    with pytest.raises(ValueError, match="no feasible"):
+        max_lu_block_size(lu_params(sram_bytes=1024), 8)
+
+
+def test_lu_candidate_validation():
+    with pytest.raises(ValueError):
+        lu_block_candidates(lu_params(), 0)
+    with pytest.raises(ValueError, match="p >= 2"):
+        lu_block_candidates(lu_params(p=1), 8)
+
+
+# ------------------------------------------------------------------- FW
+
+
+def test_fw_bound_is_724_rounded_to_720():
+    """8 MB / 8 B = 2^20 words; sqrt(2^19) = 724 -> 720 (multiple of 8)."""
+    assert fw_block_size_bound(fw_params(), 8) == 720
+
+
+def test_fw_choice_is_256():
+    assert choose_fw_block_size(fw_params(), 8) == 256
+
+
+def test_fw_choice_capped_by_sram_when_tiny():
+    tiny = fw_params(sram_bytes=2 * 64 * 64 * 8)  # room for a 64-tile
+    assert choose_fw_block_size(tiny, 8) == 64
+
+
+def test_fw_bound_validation():
+    with pytest.raises(ValueError):
+        fw_block_size_bound(fw_params(), 0)
+    with pytest.raises(ValueError, match="k x k"):
+        fw_block_size_bound(fw_params(sram_bytes=8), 8)
+
+
+def test_fw_bound_scales_with_sram():
+    assert fw_block_size_bound(fw_params(sram_bytes=32 * 2**20), 8) == 1448 // 8 * 8

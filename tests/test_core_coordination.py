@@ -1,0 +1,91 @@
+"""Tests for the coordination guard (Section 4.4 protocol)."""
+
+import pytest
+
+from repro.core import CoordinationGuard, HazardError
+
+
+def test_clean_disjoint_writes():
+    """CPU and FPGA writing separate regions is the designed-for case."""
+    g = CoordinationGuard()
+    g.begin_write("E[cpu rows]", "cpu0")
+    g.begin_write("E[fpga rows]", "fpga0")
+    g.end_write("E[cpu rows]", "cpu0")
+    g.end_write("E[fpga rows]", "fpga0")
+    assert g.clean
+
+
+def test_write_conflict_detected():
+    g = CoordinationGuard()
+    g.begin_write("E", "cpu0")
+    with pytest.raises(HazardError, match="write-conflict"):
+        g.begin_write("E", "fpga0")
+
+
+def test_raw_hazard_detected():
+    """FPGA reading a region the CPU is still writing is the Section 4.4
+    read-after-write hazard."""
+    g = CoordinationGuard()
+    g.begin_write("A01", "cpu0")
+    with pytest.raises(HazardError, match="raw-hazard"):
+        g.read("A01", "fpga0")
+
+
+def test_ungranted_read_detected():
+    """Even after the write completes, the reader needs permission."""
+    g = CoordinationGuard()
+    g.begin_write("A01", "cpu0")
+    g.end_write("A01", "cpu0")
+    with pytest.raises(HazardError, match="ungranted-read"):
+        g.read("A01", "fpga0")
+
+
+def test_granted_read_allowed():
+    g = CoordinationGuard()
+    g.begin_write("A01", "cpu0")
+    g.end_write("A01", "cpu0")
+    g.grant("A01", "fpga0")
+    g.read("A01", "fpga0")
+    assert g.clean
+
+
+def test_own_read_always_allowed():
+    g = CoordinationGuard()
+    g.begin_write("A01", "cpu0")
+    g.read("A01", "cpu0")  # the writer may read its own in-progress region
+    g.end_write("A01", "cpu0")
+    g.read("A01", "cpu0")
+    assert g.clean
+
+
+def test_new_write_revokes_grants():
+    """A grant covers one version of the data; rewriting invalidates it."""
+    g = CoordinationGuard()
+    g.begin_write("A01", "cpu0")
+    g.end_write("A01", "cpu0")
+    g.grant("A01", "fpga0")
+    g.begin_write("A01", "cpu0")
+    g.end_write("A01", "cpu0")
+    with pytest.raises(HazardError, match="ungranted-read"):
+        g.read("A01", "fpga0")
+
+
+def test_end_write_must_match_holder():
+    g = CoordinationGuard()
+    g.begin_write("A", "cpu0")
+    with pytest.raises(ValueError, match="does not hold"):
+        g.end_write("A", "fpga0")
+
+
+def test_recording_mode_collects_violations():
+    """With enforcement off (failure injection) violations are recorded,
+    not raised -- showing the protocol is what prevents them."""
+    g = CoordinationGuard(enforce=False)
+    g.begin_write("A", "cpu0")
+    g.read("A", "fpga0")  # RAW
+    g.begin_write("A", "fpga0")  # write conflict
+    assert not g.clean
+    kinds = [v.kind for v in g.violations]
+    assert kinds == ["raw-hazard", "write-conflict"]
+    assert g.violations[0].actor == "fpga0"
+    assert g.violations[0].holder == "cpu0"

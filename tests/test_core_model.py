@@ -1,0 +1,212 @@
+"""Tests for load balancing (Eq. 5), prediction (Sec. 4.5), coordination
+rates and the DesignModel facade."""
+
+import pytest
+
+from repro.core import (
+    DesignModel,
+    FW_TASK_KINDS,
+    LU_TASK_KINDS,
+    SystemParameters,
+    fw_coordination_rate,
+    fw_partition,
+    lu_coordination_rate,
+    lu_load_balance,
+    lu_stripe_partition,
+    node_work_balance,
+    predict_fw,
+    predict_lu,
+)
+
+
+def lu_params():
+    return SystemParameters(p=6, o_f=16, f_f=130e6, cpu_flops=3.9e9, b_d=1.04e9, b_n=2e9)
+
+
+def fw_params():
+    return SystemParameters(p=6, o_f=16, f_f=120e6, cpu_flops=190e6, b_d=960e6, b_n=2e9)
+
+
+TABLE1 = dict(t_lu=4.9, t_opl=7.1, t_opu=7.1)
+
+
+# ------------------------------------------------------------------- Eq. 5
+
+
+def test_lu_load_balance_paper_value():
+    """With Table 1 latencies the paper sets l = 3."""
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    bal = lu_load_balance(part, **TABLE1, params=params)
+    assert bal.l == 3
+    assert bal.owner_op_time == 7.1
+
+
+def test_lu_load_balance_equation_holds():
+    """Eq. (5): owner path equals worker path at the continuous solution."""
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    bal = lu_load_balance(part, **TABLE1, params=params)
+    lhs = bal.owner_op_time + bal.l_exact * bal.comm_per_opmm
+    rhs = bal.l_exact * bal.opmm_time
+    assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+def test_lu_load_balance_slower_panel_raises_l():
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    slow = lu_load_balance(part, t_lu=20.0, t_opl=7.1, t_opu=7.1, params=params)
+    fast = lu_load_balance(part, **TABLE1, params=params)
+    assert slow.l > fast.l
+
+
+def test_lu_load_balance_minimum_is_one():
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    bal = lu_load_balance(part, t_lu=1e-6, t_opl=1e-6, t_opu=1e-6, params=params)
+    assert bal.l == 1
+
+
+def test_lu_load_balance_validation():
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    with pytest.raises(ValueError):
+        lu_load_balance(part, t_lu=-1, t_opl=1, t_opu=1, params=params)
+
+
+def test_node_work_balance():
+    assert node_work_balance([1.0, 1.0, 1.0]) == 1.0
+    assert node_work_balance([2.0, 1.0, 0.0]) == 2.0
+    assert node_work_balance([0.0, 0.0]) == 1.0
+    with pytest.raises(ValueError):
+        node_work_balance([])
+    with pytest.raises(ValueError):
+        node_work_balance([-1.0])
+
+
+# -------------------------------------------------------------- prediction
+
+
+def test_predict_lu_paper_scale():
+    """Prediction at n=30000: low-20s GFLOPS; the paper measures 20
+    (~86% of its prediction)."""
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    pred = predict_lu(30000, 3000, part, **TABLE1, params=params)
+    assert 22.0 < pred.gflops < 29.0
+    assert pred.latency > 0
+    assert pred.useful_flops == pytest.approx((2 / 3) * 30000**3)
+
+
+def test_predict_lu_scales_with_nb():
+    """Figure 8's shape: GFLOPS rise with the number of blocks."""
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    gflops = [
+        predict_lu(3000 * nb, 3000, part, **TABLE1, params=params).gflops
+        for nb in (2, 4, 6, 8, 10)
+    ]
+    assert all(b > a for a, b in zip(gflops, gflops[1:]))
+
+
+def test_predict_fw_paper_scale():
+    """Prediction at n=92160 is ~6.84 GFLOPS; the paper measures 6.6 (96%)."""
+    params = fw_params()
+    part = fw_partition(92160, 256, 8, params)
+    pred = predict_fw(92160, 256, part, params)
+    assert pred.gflops == pytest.approx(6.84, abs=0.05)
+
+
+def test_predict_fw_flat_in_n():
+    """FW GFLOPS are nearly flat in n (the paper's Section 6.2 remark)."""
+    params = fw_params()
+    vals = []
+    for n in (18432, 36864, 92160):
+        part = fw_partition(n, 256, 8, params)
+        vals.append(predict_fw(n, 256, part, params).gflops)
+    assert max(vals) - min(vals) < 0.4
+
+
+def test_prediction_validation():
+    params = lu_params()
+    part = lu_stripe_partition(3000, 8, params)
+    with pytest.raises(ValueError):
+        predict_lu(3001, 3000, part, **TABLE1, params=params)
+    fw_part = fw_partition(18432, 256, 8, fw_params())
+    with pytest.raises(ValueError):
+        predict_fw(100, 256, fw_part, fw_params())
+
+
+# ------------------------------------------------------------ coordination
+
+
+def test_lu_coordination_rate_formula():
+    """2 (p-1) F_f / (b_f b), Section 5.1.3."""
+    rate = lu_coordination_rate(1280, 3000, 6, 130e6)
+    assert rate == pytest.approx(2 * 5 * 130e6 / (1280 * 3000))
+
+
+def test_fw_coordination_rate_formula():
+    t_f = 2 * 256**3 / (8 * 120e6)
+    assert fw_coordination_rate(10, t_f) == pytest.approx(2 / (10 * t_f))
+
+
+def test_coordination_rate_validation():
+    with pytest.raises(ValueError):
+        lu_coordination_rate(0, 3000, 6, 130e6)
+    with pytest.raises(ValueError):
+        fw_coordination_rate(0, 1.0)
+
+
+# ------------------------------------------------------------ DesignModel
+
+
+def test_placement_policy_table():
+    model = DesignModel(lu_params())
+    placements = model.lu_task_placements()
+    assert placements["opMM"] == "split"
+    assert placements["opLU"] == "whole-task"
+    assert placements["opL"] == "whole-task"
+    assert placements["opU"] == "whole-task"
+    assert placements["opMS"] == "cpu"
+    fw_placements = DesignModel(fw_params()).fw_task_placements()
+    assert all(v == "whole-task" for v in fw_placements.values())
+
+
+def test_plan_lu_bundles_decisions():
+    model = DesignModel(lu_params())
+    plan = model.plan_lu(30000, 3000, 8, **TABLE1)
+    assert plan.nb == 10
+    assert plan.partition.b_p + plan.partition.b_f == 3000
+    assert plan.balance.l == 3
+    assert plan.coordination_hz > 0
+    assert plan.prediction.gflops > 20
+
+
+def test_plan_lu_default_latencies_close_to_table1():
+    """The model's own panel estimates are near the measured Table 1."""
+    model = DesignModel(lu_params())
+    plan = model.plan_fw if False else model.plan_lu(30000, 3000, 8)
+    t_lu, t_opl, t_opu = plan.prediction.detail["panel_times"]
+    assert t_lu == pytest.approx(4.9, rel=0.1)
+    assert t_opl == pytest.approx(7.1, rel=0.05)
+
+
+def test_plan_fw_bundles_decisions():
+    model = DesignModel(fw_params())
+    plan = model.plan_fw(18432, 256, 8)
+    assert plan.nb == 72
+    assert (plan.partition.l1, plan.partition.l2) == (2, 10)
+    assert plan.coordination_hz > 0
+
+
+def test_plan_validation():
+    model = DesignModel(lu_params())
+    with pytest.raises(ValueError):
+        model.plan_lu(30001, 3000, 8)
+
+
+def test_task_kind_tables():
+    assert set(LU_TASK_KINDS) == {"opLU", "opL", "opU", "opMM", "opMS"}
+    assert set(FW_TASK_KINDS) == {"op1", "op21", "op22", "op3"}
+    assert LU_TASK_KINDS["opMS"].complexity == "n^2"

@@ -1,0 +1,58 @@
+"""Tests for SystemParameters (Section 4.1)."""
+
+import pytest
+
+from repro.core import SystemParameters
+
+
+def xd1_lu_params():
+    return SystemParameters(
+        p=6, o_f=16, f_f=130e6, cpu_flops=3.9e9, b_d=1.04e9, b_n=2e9, f_p=2.2e9
+    )
+
+
+def test_derived_quantities():
+    params = xd1_lu_params()
+    assert params.fpga_flops == pytest.approx(2.08e9)
+    assert params.node_flops == pytest.approx(5.98e9)
+    assert params.system_flops == pytest.approx(35.88e9)
+    assert params.sram_words == 8 * 2**20 // 8
+
+
+def test_elementary_times():
+    params = xd1_lu_params()
+    assert params.cpu_time(3.9e9) == pytest.approx(1.0)
+    assert params.fpga_time(2.08e9) == pytest.approx(1.0)
+    assert params.dram_time(1.04e9) == pytest.approx(1.0)
+    assert params.net_time(2e9) == pytest.approx(1.0)
+    assert params.words_time_net(2e9 / 8) == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="p must be"):
+        SystemParameters(p=0, o_f=16, f_f=1e6, cpu_flops=1e9, b_d=1e9, b_n=1e9)
+    with pytest.raises(ValueError, match="o_f"):
+        SystemParameters(p=1, o_f=0, f_f=1e6, cpu_flops=1e9, b_d=1e9, b_n=1e9)
+    with pytest.raises(ValueError, match="b_w"):
+        SystemParameters(p=1, o_f=1, f_f=1e6, cpu_flops=1e9, b_d=1e9, b_n=1e9, b_w=0)
+    with pytest.raises(ValueError):
+        xd1_lu_params().cpu_time(-1)
+    with pytest.raises(ValueError):
+        xd1_lu_params().dram_time(-1)
+    with pytest.raises(ValueError):
+        xd1_lu_params().net_time(-1)
+    with pytest.raises(ValueError):
+        xd1_lu_params().fpga_time(-1)
+
+
+def test_with_changes():
+    params = xd1_lu_params()
+    p2 = params.with_(p=12)
+    assert p2.p == 12 and params.p == 6
+    assert p2.f_f == params.f_f
+
+
+def test_frozen():
+    params = xd1_lu_params()
+    with pytest.raises(AttributeError):
+        params.p = 9  # type: ignore[misc]

@@ -1,0 +1,97 @@
+"""Tests for the task graph (repro.core.tasks)."""
+
+import pytest
+
+from repro.core import CycleError, Task, TaskGraph
+
+
+def chain_graph():
+    g = TaskGraph()
+    g.add(Task("a", "opLU", node=0, flops=10.0))
+    g.add(Task("b", "opL", node=0, flops=20.0, deps=("a",)))
+    g.add(Task("c", "opMM", node=1, flops=30.0, deps=("b",)))
+    return g
+
+
+def test_add_and_lookup():
+    g = chain_graph()
+    assert len(g) == 3
+    assert "b" in g
+    assert g["b"].kind == "opL"
+
+
+def test_duplicate_id_rejected():
+    g = chain_graph()
+    with pytest.raises(ValueError, match="duplicate"):
+        g.add(Task("a", "opLU", node=0, flops=1.0))
+
+
+def test_unknown_dep_rejected():
+    g = TaskGraph()
+    with pytest.raises(ValueError, match="unknown task"):
+        g.add(Task("x", "opMM", node=0, flops=1.0, deps=("ghost",)))
+
+
+def test_negative_flops_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        Task("x", "opMM", node=0, flops=-1.0)
+
+
+def test_roots():
+    g = chain_graph()
+    assert [t.id for t in g.roots()] == ["a"]
+
+
+def test_topological_order_respects_deps():
+    g = TaskGraph()
+    g.add(Task("a", "x", 0, 1.0))
+    g.add(Task("b", "x", 0, 1.0))
+    g.add(Task("c", "x", 0, 1.0, deps=("a", "b")))
+    g.add(Task("d", "x", 0, 1.0, deps=("c",)))
+    order = [t.id for t in g.topological_order()]
+    assert order.index("c") > order.index("a")
+    assert order.index("c") > order.index("b")
+    assert order.index("d") > order.index("c")
+
+
+def test_cycle_detection():
+    g = chain_graph()
+    # Forge a cycle by direct mutation (add() forbids it).
+    g._tasks["a"].deps = ("c",)
+    with pytest.raises(CycleError):
+        g.topological_order()
+
+
+def test_count_by_kind_and_total_flops():
+    g = chain_graph()
+    assert g.count_by_kind() == {"opLU": 1, "opL": 1, "opMM": 1}
+    assert g.total_flops() == 60.0
+
+
+def test_critical_path_linear():
+    g = chain_graph()
+    length, path = g.critical_path(lambda t: t.flops)
+    assert length == 60.0
+    assert [t.id for t in path] == ["a", "b", "c"]
+
+
+def test_critical_path_diamond():
+    g = TaskGraph()
+    g.add(Task("s", "x", 0, 1.0))
+    g.add(Task("fast", "x", 0, 2.0, deps=("s",)))
+    g.add(Task("slow", "x", 0, 10.0, deps=("s",)))
+    g.add(Task("t", "x", 0, 1.0, deps=("fast", "slow")))
+    length, path = g.critical_path(lambda t: t.flops)
+    assert length == 12.0
+    assert [t.id for t in path] == ["s", "slow", "t"]
+
+
+def test_critical_path_empty():
+    assert TaskGraph().critical_path(lambda t: 1.0) == (0.0, [])
+
+
+def test_successors():
+    g = chain_graph()
+    succ = g.successors()
+    assert succ["a"] == ["b"]
+    assert succ["c"] == []

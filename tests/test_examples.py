@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are deliverables; these tests run each one in-process (runpy)
+and check a signature line of its output, so a refactor that breaks the
+public API surfaces here rather than in a user's terminal.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_functional_validation_example(capsys):
+    out = run_example("functional_validation.py", capsys)
+    assert "All functional validations passed." in out
+    assert "guard raised as designed" in out
+
+
+def test_codesign_explorer_example(capsys):
+    out = run_example("codesign_explorer.py", capsys)
+    assert "Eq. 4 says b_f" in out
+    assert "Eq. 6 says l1 = 2" in out
+
+
+def test_ring_mm_extension_example(capsys):
+    out = run_example("ring_mm_extension.py", capsys)
+    assert "of the baseline sum" in out
+    assert "guard clean   = True" in out
+
+
+def test_trace_anatomy_example(capsys):
+    out = run_example("trace_anatomy.py", capsys)
+    assert "binding resource" in out
+    assert "cpu0" in out and "fpga1" in out
+
+
+def test_quickstart_example(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Eq. 4 partition" in out
+    assert "Eq. 6 split : l1 = 10" in out
+    assert "speedups" in out
+
+
+def test_capacity_planning_example(capsys):
+    out = run_example("capacity_planning.py", capsys)
+    assert "Predicted hybrid performance across machines" in out
+    assert "Prediction vs simulation" in out
+
+
+def test_heterogeneous_chassis_example(capsys):
+    out = run_example("heterogeneous_chassis.py", capsys)
+    assert "node degradation" in out
+    assert "hetero-balanced" in out

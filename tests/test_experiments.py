@@ -1,0 +1,49 @@
+"""Tests for the experiment harness itself (cheap experiments only;
+the expensive figures are exercised -- with timing -- by benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    ablation_presets,
+    table1_routines,
+)
+
+
+def test_registry_covers_every_table_and_figure():
+    """DESIGN.md promises one target per evaluation artifact."""
+    expected = {
+        "table1", "fig5", "fig6", "fig7", "fig8", "fig9-lu", "fig9-fw",
+        "ablation-overlap", "ablation-partition", "ablation-presets",
+        "ablation-blocksize", "ext-mm", "ext-scaling",
+    }
+    assert set(ALL_EXPERIMENTS) == expected
+
+
+def test_table1_reproduces_exactly():
+    result = table1_routines()
+    assert result.ok, result.checks
+    rows = result.data["rows"]
+    for _, _, paper, model in rows:
+        assert model == pytest.approx(paper, rel=0.01)
+    assert "dgetrf" in result.text and "4.9" in result.text
+
+
+def test_ablation_presets_runs_and_checks():
+    result = ablation_presets()
+    assert result.ok, result.checks
+    assert "Cray XD1" in result.text
+
+
+def test_result_summary_formatting():
+    good = ExperimentResult("x", "t", "body", checks={"a": True})
+    bad = ExperimentResult("y", "t", "body", checks={"a": False})
+    assert good.ok and good.summary().startswith("[PASS]")
+    assert not bad.ok and bad.summary().startswith("[FAIL]")
+
+
+def test_experiments_are_callables():
+    for fn in ALL_EXPERIMENTS.values():
+        assert callable(fn)
+        assert fn.__doc__

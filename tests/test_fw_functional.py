@@ -1,0 +1,117 @@
+"""Functional validation of the distributed FW schedule (real numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fw import distributed_blocked_fw
+from repro.core import CoordinationGuard
+from repro.kernels import (
+    blocked_floyd_warshall,
+    max_abs_diff,
+    random_distance_matrix,
+    scipy_shortest_paths,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+def test_hybrid_schedule_computes_shortest_paths(rng):
+    d = random_distance_matrix(24, rng)
+    res = distributed_blocked_fw(d, b=4, p=3, l1=1)
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-12
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 6])
+def test_many_node_counts(rng, p):
+    d = random_distance_matrix(24, rng)
+    res = distributed_blocked_fw(d, b=4, p=p, l1=1)
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-12
+
+
+@pytest.mark.parametrize("l1", [0, 1, 2])
+def test_all_splits_identical(rng, l1):
+    """CPU-only, hybrid and FPGA-only splits give identical distances."""
+    d = random_distance_matrix(16, rng)
+    res = distributed_blocked_fw(d, b=4, p=2, l1=l1)
+    ref = blocked_floyd_warshall(d, 4).dist
+    assert max_abs_diff(res.dist, ref) == 0.0
+
+
+def test_matches_sequential_reference_exactly(rng):
+    d = random_distance_matrix(32, rng, density=0.3)
+    res = distributed_blocked_fw(d, b=8, p=4, l1=0)
+    ref = blocked_floyd_warshall(d, 8).dist
+    assert max_abs_diff(res.dist, ref) == 0.0
+
+
+def test_cycle_level_fpga_model_agrees(rng):
+    d = random_distance_matrix(16, rng)
+    hw = distributed_blocked_fw(d, b=4, p=2, l1=1, use_hw_model=True, hw_k=2)
+    sw = distributed_blocked_fw(d, b=4, p=2, l1=1, use_hw_model=False)
+    assert max_abs_diff(hw.dist, sw.dist) == 0.0
+
+
+def test_op_counts(rng):
+    d = random_distance_matrix(16, rng)
+    res = distributed_blocked_fw(d, b=4, p=2, l1=1)  # nb = 4
+    assert res.op_counts == {"op1": 4, "op21": 12, "op22": 12, "op3": 36}
+
+
+def test_device_split_counts(rng):
+    """l1 of each node's per-phase ops go to the CPU, the rest to FPGA;
+    op1 and op22 always run on the owner's CPU."""
+    d = random_distance_matrix(16, rng)
+    nb, p, l1 = 4, 2, 1
+    res = distributed_blocked_fw(d, b=4, p=p, l1=l1)
+    total = sum(res.op_counts.values())
+    assert res.device_ops["cpu"] + res.device_ops["fpga"] == total
+    assert res.device_ops["fpga"] > 0
+    cpu_only = distributed_blocked_fw(d, b=4, p=p, l1=2)
+    assert cpu_only.device_ops["fpga"] == 0
+
+
+def test_messages_counted(rng):
+    d = random_distance_matrix(16, rng)
+    res = distributed_blocked_fw(d, b=4, p=2, l1=1)
+    # Per iteration: 1 op1 bcast + (nb-1) op22 bcasts, each p-1 messages.
+    assert res.messages == 4 * (1 + 3) * 1
+
+
+def test_coordination_protocol_clean(rng):
+    d = random_distance_matrix(16, rng)
+    guard = CoordinationGuard(enforce=True)
+    res = distributed_blocked_fw(d, b=4, p=2, l1=1, guard=guard)
+    assert res.guard.clean
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-12
+
+
+def test_handles_inf_and_disconnected(rng):
+    d = np.full((12, 12), np.inf)
+    np.fill_diagonal(d, 0.0)
+    d[0, 5] = 2.0
+    d[5, 11] = 3.0
+    res = distributed_blocked_fw(d, b=4, p=3, l1=1)
+    assert res.dist[0, 11] == 5.0
+    assert np.isinf(res.dist[11, 0])
+
+
+def test_validation_errors(rng):
+    d = random_distance_matrix(12, rng)
+    with pytest.raises(ValueError, match="divide"):
+        distributed_blocked_fw(d, b=5, p=2)
+    with pytest.raises(ValueError, match="outside"):
+        distributed_blocked_fw(d, b=4, p=3, l1=9)
+    with pytest.raises(ValueError, match="square"):
+        distributed_blocked_fw(np.zeros((3, 4)), b=1, p=1)
+    with pytest.raises(ValueError, match="multiple of k"):
+        distributed_blocked_fw(d, b=6, p=2, use_hw_model=True, hw_k=4)
+
+
+def test_input_not_mutated(rng):
+    d = random_distance_matrix(12, rng)
+    d0 = d.copy()
+    distributed_blocked_fw(d, b=4, p=3)
+    np.testing.assert_array_equal(d, d0)

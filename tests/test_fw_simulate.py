@@ -1,0 +1,204 @@
+"""Tests for the FW discrete-event simulation (paper-scale behaviours)."""
+
+import pytest
+
+from repro.apps.fw import ColumnBlockLayout, FwDesign, FwSimConfig, simulate_fw
+from repro.machine import cray_xd1
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return cray_xd1()
+
+
+@pytest.fixture(scope="module")
+def design(spec):
+    """The planned design at the paper's headline scale (n=92160, b=256)."""
+    return FwDesign(spec, n=92160, b=256)
+
+
+@pytest.fixture(scope="module")
+def comparison(design):
+    return design.compare()
+
+
+# ------------------------------------------------------------------ layout
+
+
+def test_column_layout_ownership():
+    layout = ColumnBlockLayout(nb=12, p=6)
+    assert layout.cols_per_node == 2
+    assert layout.owner_of_column(0) == 0
+    assert layout.owner_of_column(11) == 5
+    assert layout.iteration_owner(5) == 2
+    assert list(layout.columns_of(2)) == [4, 5]
+
+
+def test_column_layout_validation():
+    with pytest.raises(ValueError, match="divide"):
+        ColumnBlockLayout(nb=7, p=2)
+    layout = ColumnBlockLayout(nb=4, p=2)
+    with pytest.raises(ValueError):
+        layout.owner_of_column(4)
+    with pytest.raises(ValueError):
+        layout.columns_of(2)
+
+
+# ---------------------------------------------------------------- planning
+
+
+def test_plan_matches_paper_headline(design):
+    assert design.ops_per_phase == 60
+    assert (design.plan.partition.l1, design.plan.partition.l2) == (10, 50)
+    assert design.plan.prediction.gflops == pytest.approx(6.84, abs=0.05)
+
+
+def test_plan_paper_small_point(spec):
+    d = FwDesign(spec, n=18432, b=256)
+    assert (d.plan.partition.l1, d.plan.partition.l2) == (2, 10)
+
+
+# ----------------------------------------------------- headline behaviours
+
+
+def test_hybrid_matches_paper_6_6_gflops(comparison):
+    """The paper reports 6.6 GFLOPS for the hybrid FW design."""
+    assert comparison.hybrid.gflops == pytest.approx(6.6, rel=0.05)
+
+
+def test_cpu_only_matches_paper(comparison):
+    """Processor-only: ~1.14 GFLOPS (6 nodes x 190 MFLOPS, comm losses)."""
+    assert comparison.cpu_only.gflops == pytest.approx(1.14, rel=0.05)
+
+
+def test_fpga_only_matches_paper(comparison):
+    """FPGA-only: ~5.75 GFLOPS (6 nodes x k F_f)."""
+    assert comparison.fpga_only.gflops == pytest.approx(5.75, rel=0.05)
+
+
+def test_speedups_match_paper(comparison):
+    """Paper: 5.8x over Processor-only, 1.15x over FPGA-only."""
+    assert comparison.speedup_vs_cpu == pytest.approx(5.8, rel=0.1)
+    assert comparison.speedup_vs_fpga == pytest.approx(1.15, rel=0.05)
+
+
+def test_fraction_of_sum_exceeds_95_percent(comparison):
+    """Paper: the hybrid reaches >95% of the baselines' summed GFLOPS."""
+    assert comparison.fraction_of_sum > 0.95
+
+
+def test_measured_vs_predicted_96_percent(comparison):
+    """Paper: the FW design achieves ~96% of the model's prediction."""
+    assert comparison.fraction_of_predicted == pytest.approx(0.96, abs=0.03)
+
+
+# ---------------------------------------------------------- Fig 7 shape
+
+
+def test_fig7_minimum_at_l1_2(spec):
+    """Latency of one iteration (n=18432) is minimised at l1 = 2."""
+    lats = {}
+    for l1 in range(0, 13):
+        cfg = FwSimConfig(n=18432, b=256, k=8, l1=l1, l2=12 - l1, iterations=1)
+        lats[l1] = simulate_fw(spec, cfg).elapsed
+    assert min(lats, key=lats.get) == 2
+    # Monotone increase for l1 > 2 (CPU increasingly overloaded).
+    for l1 in range(3, 12):
+        assert lats[l1 + 1] > lats[l1]
+
+
+def test_fig7_fpga_only_beats_bad_splits(spec):
+    """Paper: FPGA-only (l1=0) beats hybrid splits with l1 >= 3."""
+    lat0 = simulate_fw(spec, FwSimConfig(n=18432, b=256, k=8, l1=0, l2=12, iterations=1)).elapsed
+    lat4 = simulate_fw(spec, FwSimConfig(n=18432, b=256, k=8, l1=4, l2=8, iterations=1)).elapsed
+    assert lat0 < lat4
+
+
+# ----------------------------------------------------- scale behaviours
+
+
+def test_gflops_flat_in_n(spec):
+    """Paper Fig 8 discussion: FW GFLOPS barely move as n grows."""
+    vals = []
+    for n in (18432, 36864, 92160):
+        d = FwDesign(spec, n=n, b=256)
+        vals.append(d.simulate().gflops)
+    assert max(vals) - min(vals) < 0.5
+
+
+def test_extrapolation_matches_full_simulation(spec):
+    """Simulating 1 iteration and extrapolating equals the full run
+    (uniform phases), validating the benchmark methodology."""
+    cfg_full = FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=None)
+    cfg_one = FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=1)
+    full = simulate_fw(spec, cfg_full)
+    one = simulate_fw(spec, cfg_one)
+    assert one.total_elapsed == pytest.approx(full.elapsed, rel=0.02)
+
+
+def test_aggregate_matches_per_op_granularity(spec):
+    """Event aggregation must not change the simulated time materially."""
+    agg = simulate_fw(spec, FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=1))
+    fine = simulate_fw(
+        spec,
+        FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=1, aggregate_ops=False),
+    )
+    assert agg.elapsed == pytest.approx(fine.elapsed, rel=0.05)
+
+
+def test_overlap_ablation_is_slower_when_fpga_bound(spec):
+    """With everything on the FPGA, unoverlapped staging adds l2*T_mem to
+    each phase.  (At the balanced split the CPU path hides it -- the
+    paper's own remark that FW's communication costs are comparatively
+    small.)"""
+    base = simulate_fw(spec, FwSimConfig(n=18432, b=256, k=8, l1=0, l2=12, iterations=1))
+    nolap = simulate_fw(
+        spec, FwSimConfig(n=18432, b=256, k=8, l1=0, l2=12, iterations=1, overlap=False)
+    )
+    assert nolap.elapsed > base.elapsed
+
+
+def test_overlap_hidden_at_balanced_split(spec):
+    """At the Eq. 6 split the CPU-side serial path already covers the
+    staging time, so disabling overlap does not change the makespan."""
+    base = simulate_fw(spec, FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1))
+    nolap = simulate_fw(
+        spec, FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1, overlap=False)
+    )
+    assert nolap.elapsed == pytest.approx(base.elapsed, rel=0.01)
+
+
+# ------------------------------------------------------------- config API
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="divide"):
+        FwSimConfig(n=1000, b=256, k=8, l1=1, l2=1)
+    with pytest.raises(ValueError, match="multiple of k"):
+        FwSimConfig(n=18432, b=36, k=8, l1=1, l2=1)
+    with pytest.raises(ValueError, match="invalid split"):
+        FwSimConfig(n=18432, b=256, k=8, l1=0, l2=0)
+
+
+def test_split_must_match_layout(spec):
+    cfg = FwSimConfig(n=18432, b=256, k=8, l1=3, l2=3)  # 6 != 12
+    with pytest.raises(ValueError, match="must equal"):
+        simulate_fw(spec, cfg)
+
+
+def test_work_conservation(comparison):
+    """FPGA busy time equals l2/(l1+l2) of all ops at the design rate."""
+    res = comparison.hybrid
+    cfg = res.config
+    ops_simulated = cfg.nb * cfg.nb * cfg.l2  # per node, 1 iteration x nb phases...
+    # One iteration simulated: nb phases x l2 FPGA ops per node.
+    expected = res.iterations_run * cfg.nb * cfg.l2 * (2 * cfg.b**3 / (cfg.k * 120e6))
+    assert sum(res.fpga_busy) == pytest.approx(6 * expected, rel=0.01)
+
+
+def test_trace_capture(spec):
+    cfg = FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=1)
+    res = simulate_fw(spec, cfg, trace=True)
+    assert res.trace is not None
+    res.trace.check_exclusive([f"fpga{i}" for i in range(6)])
+    assert res.trace.busy_time("fpga0") > 0

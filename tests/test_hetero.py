@@ -1,0 +1,154 @@
+"""Tests for heterogeneous-node load balancing (extension of Sec. 4.3)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SystemParameters
+from repro.core.hetero import (
+    assignment_makespan,
+    hetero_fw_assignment,
+    imbalance,
+    node_hybrid_rate,
+    proportional_assignment,
+)
+
+
+def xd1_node(scale: float = 1.0) -> SystemParameters:
+    return SystemParameters(
+        p=1,
+        o_f=16,
+        f_f=120e6 * scale,
+        cpu_flops=190e6 * scale,
+        b_d=960e6 * scale,
+        b_n=2e9,
+    )
+
+
+# ------------------------------------------------- proportional assignment
+
+
+def test_equal_rates_split_evenly():
+    assert proportional_assignment(12, [1.0, 1.0, 1.0]) == [4, 4, 4]
+
+
+def test_double_speed_gets_double_tasks():
+    assert proportional_assignment(9, [2.0, 1.0]) == [6, 3]
+
+
+def test_total_is_conserved():
+    out = proportional_assignment(17, [3.0, 1.0, 2.5, 0.5])
+    assert sum(out) == 17
+
+
+def test_zero_rate_gets_nothing():
+    out = proportional_assignment(10, [1.0, 0.0, 1.0])
+    assert out[1] == 0
+    assert sum(out) == 10
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="no nodes"):
+        proportional_assignment(5, [])
+    with pytest.raises(ValueError, match="non-negative"):
+        proportional_assignment(5, [1.0, -1.0])
+    with pytest.raises(ValueError, match="positive rate"):
+        proportional_assignment(5, [0.0, 0.0])
+    with pytest.raises(ValueError):
+        proportional_assignment(-1, [1.0])
+
+
+@given(
+    total=st.integers(min_value=0, max_value=60),
+    rates=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_near_optimal_vs_brute_force(total, rates):
+    """Largest-remainder is within one task-time of the best integer
+    assignment (and conserves the total exactly)."""
+    ours = proportional_assignment(total, rates)
+    assert sum(ours) == total
+    assert all(t >= 0 for t in ours)
+    our_span = assignment_makespan(ours, rates)
+    if total <= 12 and len(rates) <= 3:  # exhaustive check when feasible
+        best = min(
+            assignment_makespan(combo, rates)
+            for combo in itertools.product(range(total + 1), repeat=len(rates))
+            if sum(combo) == total
+        )
+        slowest = max(1.0 / r for r in rates)
+        assert our_span <= best + slowest + 1e-9
+
+
+# ------------------------------------------------------------ makespan
+
+
+def test_makespan_and_imbalance():
+    rates = [2.0, 1.0]
+    assert assignment_makespan([4, 2], rates) == pytest.approx(2.0)
+    assert imbalance([4, 2], rates) == pytest.approx(1.0)
+    assert imbalance([6, 0], rates) == pytest.approx(1.5)
+    assert imbalance([0, 0], rates) == 1.0
+
+
+def test_makespan_infinite_for_work_on_dead_node():
+    assert assignment_makespan([1, 1], [1.0, 0.0]) == float("inf")
+
+
+def test_makespan_validation():
+    with pytest.raises(ValueError, match="equal length"):
+        assignment_makespan([1], [1.0, 2.0])
+    with pytest.raises(ValueError, match="negative"):
+        assignment_makespan([-1, 1], [1.0, 1.0])
+
+
+# ---------------------------------------------------------- hybrid rates
+
+
+def test_node_hybrid_rate_matches_eq6_makespan():
+    params = xd1_node()
+    rate = node_hybrid_rate(params, b=256, k=8, l1=2, l2=10)
+    t_p = 2 * 256**3 / params.cpu_flops
+    t_f = 2 * 256**3 / (8 * params.f_f)
+    t_comm = 256**2 * 8 / params.b_n
+    t_mem = 2 * 256**2 * 8 / params.b_d
+    phase = max(2 * t_p + t_comm + 10 * t_mem, 10 * t_f)
+    assert rate == pytest.approx(12 / phase)
+
+
+def test_node_hybrid_rate_validation():
+    with pytest.raises(ValueError, match="invalid split"):
+        node_hybrid_rate(xd1_node(), 256, 8, 0, 0)
+
+
+# --------------------------------------------------- FW column assignment
+
+
+def test_homogeneous_nodes_get_equal_columns():
+    nodes = [xd1_node() for _ in range(6)]
+    assert hetero_fw_assignment(72, nodes, b=256, k=8) == [12] * 6
+
+
+def test_faster_node_gets_more_columns():
+    nodes = [xd1_node(), xd1_node(scale=2.0), xd1_node()]
+    out = hetero_fw_assignment(40, nodes, b=256, k=8)
+    assert sum(out) == 40
+    assert out[1] > out[0]
+    assert out[1] == pytest.approx(2 * out[0], abs=1)
+
+
+def test_mixed_generation_chassis_balances_time():
+    """An upgraded half-chassis: per-node completion times stay within
+    one task of each other."""
+    nodes = [xd1_node(1.0)] * 3 + [xd1_node(1.5)] * 3
+    out = hetero_fw_assignment(60, nodes, b=256, k=8)
+    rates = [1.0, 1.0, 1.0, 1.5, 1.5, 1.5]
+    times = [t / r for t, r in zip(out, rates)]
+    assert max(times) - min(times) <= 1.0 / min(rates) + 1e-9
+
+
+def test_hetero_validation():
+    with pytest.raises(ValueError):
+        hetero_fw_assignment(0, [xd1_node()], b=256, k=8)

@@ -1,0 +1,93 @@
+"""Heterogeneous-chassis simulations: one slow node drags the system.
+
+These tests exercise the per-node hardware override in
+ReconfigurableSystem through the application schedules, and connect the
+observed degradation to the model-level remedy in repro.core.hetero.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.fw import FwSimConfig, simulate_fw
+from repro.apps.mm import MmSimConfig, simulate_mm
+from repro.core import node_work_balance
+from repro.machine import ReconfigurableSystem, cray_xd1
+from repro.machine.processor import ProcessorSpec
+
+
+def slow_node_spec(spec, factor: float):
+    """The standard node with every CPU rate divided by ``factor``."""
+    old = spec.node.processor
+    slow = ProcessorSpec(
+        name=f"{old.name} /{factor:g}",
+        clock_hz=old.clock_hz / factor,
+        sustained={k: v / factor for k, v in old.sustained.items()},
+    )
+    return dataclasses.replace(spec.node, processor=slow)
+
+
+def test_node_specs_length_validated():
+    spec = cray_xd1()
+    with pytest.raises(ValueError, match="length p"):
+        ReconfigurableSystem(spec, node_specs=[spec.node] * 3)
+
+
+def test_homogeneous_override_is_identity():
+    spec = cray_xd1()
+    cfg = FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1)
+    base = simulate_fw(spec, cfg)
+    same = simulate_fw(spec, cfg, node_specs=[spec.node] * 6)
+    assert same.elapsed == pytest.approx(base.elapsed)
+
+
+def test_one_slow_cpu_drags_fw_phases():
+    """With the pivot broadcast synchronising each phase, a 4x-slower
+    CPU on one node gates every phase at its l1 ops."""
+    spec = cray_xd1()
+    cfg = FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1)
+    base = simulate_fw(spec, cfg)
+    nodes = [spec.node] * 5 + [slow_node_spec(spec, 4.0)]
+    degraded = simulate_fw(spec, cfg, node_specs=nodes)
+    assert degraded.elapsed > base.elapsed * 1.5
+    # The slow node's phase path: l1 ops at 1/4 the rate.
+    t_p_slow = 2 * 256**3 / (190e6 / 4)
+    assert degraded.elapsed >= cfg.nb * 2 * t_p_slow * 0.9
+
+
+def test_slow_node_shows_up_as_imbalance():
+    """node_work_balance on per-node busy times quantifies the skew the
+    Section 4.3 extension (repro.core.hetero) would re-balance."""
+    spec = cray_xd1()
+    cfg = FwSimConfig(n=18432, b=256, k=8, l1=12, l2=0, iterations=1)  # CPU-only
+    base = simulate_fw(spec, cfg)
+    nodes = [spec.node] * 5 + [slow_node_spec(spec, 2.0)]
+    degraded = simulate_fw(spec, cfg, node_specs=nodes)
+    # Balanced run: all nodes near-equally busy.
+    assert node_work_balance(base.cpu_busy) == pytest.approx(1.0, abs=0.01)
+    # Degraded run: the slow node is busy ~2x longer than the mean
+    # would be if work were redistributed -- the hetero module's cue.
+    assert degraded.elapsed > base.elapsed * 1.8
+
+
+def test_hetero_ring_mm_gated_by_slow_node():
+    """The ring's neighbour dependency makes one slow node pace all."""
+    spec = cray_xd1()
+    cfg = MmSimConfig(n=12000, k=8, m_f=0)  # CPU-only ring
+    base = simulate_mm(spec, cfg)
+    nodes = [slow_node_spec(spec, 3.0)] + [spec.node] * 5
+    degraded = simulate_mm(spec, cfg, node_specs=nodes)
+    assert degraded.elapsed == pytest.approx(base.elapsed * 3.0, rel=0.1)
+
+
+def test_hetero_assignment_predicts_recovery():
+    """The hetero model says how many columns the slow node should own;
+    the predicted balanced makespan beats the naive equal split."""
+    from repro.core import SystemParameters, assignment_makespan, proportional_assignment
+
+    rates = [1.0] * 5 + [0.25]  # the 4x-slower node
+    naive = [12] * 6
+    balanced = proportional_assignment(72, rates)
+    assert assignment_makespan(balanced, rates) < assignment_makespan(naive, rates)
+    assert sum(balanced) == 72
+    assert balanced[5] < 12  # the slow node gets less work

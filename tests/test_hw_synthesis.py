@@ -1,0 +1,137 @@
+"""Tests for the device catalog, FP cores and synthesis estimator."""
+
+import pytest
+
+from repro.hw import (
+    DEVICES,
+    DP_ADDER,
+    DP_COMPARATOR,
+    DP_MULTIPLIER,
+    FW_DESIGN_SPEC,
+    MM_DESIGN_SPEC,
+    SynthesisError,
+    XC2VP50,
+    get_device,
+    max_pes,
+    synthesize,
+)
+from repro.hw.floating_point import core_latency
+from repro.hw.synthesis import PeSpec
+
+
+# ------------------------------------------------------------------ devices
+
+
+def test_catalog_contains_paper_devices():
+    assert "XC2VP50" in DEVICES
+    assert XC2VP50.slices == 23_616
+    assert XC2VP50.multipliers == 232
+
+
+def test_get_device_unknown():
+    with pytest.raises(KeyError, match="unknown FPGA device"):
+        get_device("XC9999")
+
+
+def test_bram_capacity_conversion():
+    # 4176 Kbit = 522 KB = 66816 doubles
+    assert XC2VP50.bram_bytes == 4_176 * 1024 // 8
+    assert XC2VP50.bram_words(8) == XC2VP50.bram_bytes // 8
+
+
+# ------------------------------------------------------------------ fp cores
+
+
+def test_core_footprints_positive():
+    for core in (DP_ADDER, DP_MULTIPLIER, DP_COMPARATOR):
+        assert core.slices > 0
+        assert core.pipeline_stages >= 1
+        assert core.max_freq_hz > 0
+
+
+def test_multiplier_uses_embedded_multipliers():
+    assert DP_MULTIPLIER.multipliers > 0
+    assert DP_ADDER.multipliers == 0
+
+
+def test_core_latency_seconds():
+    assert DP_ADDER.latency_seconds(100e6) == pytest.approx(DP_ADDER.pipeline_stages / 100e6)
+    with pytest.raises(ValueError):
+        DP_ADDER.latency_seconds(0)
+
+
+def test_core_latency_chain():
+    freq = 130e6
+    total = core_latency(["dp_add", "dp_mul"], freq)
+    assert total == pytest.approx(
+        (DP_ADDER.pipeline_stages + DP_MULTIPLIER.pipeline_stages) / freq
+    )
+
+
+# ------------------------------------------------------------------ synthesis:
+# these four tests pin the calibration against Section 6.1 of the paper.
+
+
+def test_mm_design_max_8_pes_on_xc2vp50():
+    assert max_pes(MM_DESIGN_SPEC, XC2VP50) == 8
+
+
+def test_mm_design_clock_is_130mhz_at_k8():
+    assert synthesize(MM_DESIGN_SPEC, XC2VP50, 8).freq_hz == pytest.approx(130e6)
+
+
+def test_fw_design_max_8_pes_on_xc2vp50():
+    assert max_pes(FW_DESIGN_SPEC, XC2VP50) == 8
+
+
+def test_fw_design_clock_is_120mhz_at_k8():
+    assert synthesize(FW_DESIGN_SPEC, XC2VP50, 8).freq_hz == pytest.approx(120e6)
+
+
+def test_synthesis_rejects_overcommit():
+    with pytest.raises(SynthesisError, match="slices"):
+        synthesize(MM_DESIGN_SPEC, XC2VP50, 9)
+
+
+def test_synthesis_rejects_bad_k():
+    with pytest.raises(ValueError):
+        synthesize(MM_DESIGN_SPEC, XC2VP50, 0)
+
+
+def test_frequency_decreases_with_utilisation():
+    freqs = [synthesize(MM_DESIGN_SPEC, XC2VP50, k).freq_hz for k in (1, 4, 8)]
+    assert freqs[0] > freqs[1] > freqs[2]
+
+
+def test_larger_device_fits_more_pes():
+    big = get_device("XC4VLX200")
+    assert max_pes(MM_DESIGN_SPEC, big) > 8
+
+
+def test_multiplier_budget_can_bind():
+    """On a multiplier-poor device the multiplier budget limits k."""
+    lx60 = get_device("XC4VLX60")
+    k = max_pes(MM_DESIGN_SPEC, lx60)
+    rep = synthesize(MM_DESIGN_SPEC, lx60, k)
+    # 64 mult18s / 9 per PE -> at most 7 PEs regardless of slices.
+    assert k == 7
+    assert rep.multipliers_used <= lx60.multipliers
+
+
+def test_pe_spec_aggregates():
+    pe = PeSpec("x", cores=(DP_ADDER, DP_MULTIPLIER), glue_slices=100)
+    assert pe.slices == 100 + DP_ADDER.slices + DP_MULTIPLIER.slices
+    assert pe.multipliers == DP_MULTIPLIER.multipliers
+    assert pe.max_freq_hz == min(DP_ADDER.max_freq_hz, DP_MULTIPLIER.max_freq_hz)
+
+
+def test_report_str_and_utilisation():
+    rep = synthesize(MM_DESIGN_SPEC, XC2VP50, 8)
+    assert 0.9 < rep.slice_utilisation < 1.0
+    assert "k=8" in str(rep)
+
+
+def test_tiny_design_capped_by_core_fmax():
+    """At very low utilisation the clock caps at the slowest core's f_max."""
+    rep = synthesize(MM_DESIGN_SPEC, get_device("XC4VLX200"), 1)
+    assert rep.freq_hz <= MM_DESIGN_SPEC.pe.max_freq_hz

@@ -1,0 +1,149 @@
+"""Cross-layer integration tests: model -> machine -> schedule -> trace.
+
+Each test exercises a full vertical slice of the stack and checks a
+consistency property that no single layer can guarantee alone.
+"""
+
+import pytest
+
+from repro import (
+    FwDesign,
+    LuDesign,
+    cray_xd1,
+)
+from repro.analysis import analyse_trace
+from repro.apps.fw import FwSimConfig, simulate_fw
+from repro.apps.lu import LuSimConfig, simulate_lu
+from repro.apps.mm import MmDesign
+from repro.hw import FloydWarshallDesign, MatrixMultiplyDesign
+from repro.sim import CausalityViolation
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return cray_xd1()
+
+
+# ------------------------------------------------- plan/sim consistency
+
+
+def test_lu_planned_bf_is_best_among_neighbours(spec):
+    """Simulating at the planned b_f beats simulating k-steps away --
+    the model's decision is locally optimal under the DES too."""
+    design = LuDesign(spec, n=12000, b=3000)
+    planned = design.plan.partition.b_f
+    at = {
+        bf: simulate_lu(spec, LuSimConfig(n=12000, b=3000, k=8, b_f=bf, l=3)).elapsed
+        for bf in (planned - 400, planned, planned + 400)
+    }
+    assert at[planned] <= at[planned - 400] + 1e-9
+    assert at[planned] <= at[planned + 400] + 1e-9
+
+
+def test_fw_planned_split_is_best_among_neighbours(spec):
+    design = FwDesign(spec, n=18432, b=256)
+    l1_star = design.plan.partition.l1
+    lats = {}
+    for l1 in (l1_star - 1, l1_star, l1_star + 1):
+        cfg = FwSimConfig(n=18432, b=256, k=8, l1=l1, l2=12 - l1, iterations=1)
+        lats[l1] = simulate_fw(spec, cfg).elapsed
+    assert lats[l1_star] <= min(lats.values()) + 1e-9
+
+
+def test_prediction_is_lower_bound_for_simulation(spec):
+    """Section 4.5 assumes perfect overlap, so prediction <= simulation
+    (as elapsed time) for all three applications."""
+    lu = LuDesign(spec, n=12000, b=3000)
+    assert lu.plan.prediction.latency <= lu.simulate().elapsed * 1.001
+    fw = FwDesign(spec, n=18432, b=256)
+    assert fw.plan.prediction.latency <= fw.simulate().total_elapsed * 1.001
+    mm = MmDesign(spec, n=12000)
+    pred_time = 2.0 * 12000**3 / (mm.predicted_gflops * 1e9)
+    assert pred_time <= mm.simulate().elapsed * 1.001
+
+
+# --------------------------------------------------- trace invariants
+
+
+def test_all_apps_produce_causally_valid_traces(spec):
+    """No exclusive lane is ever double-booked, across every app."""
+    runs = [
+        simulate_lu(spec, LuSimConfig(n=9000, b=3000, k=8, b_f=1080, l=3), trace=True),
+        simulate_fw(spec, FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=1), trace=True),
+        MmDesign(spec, n=12000).simulate(trace=True),
+    ]
+    exclusive = [f"cpu{i}" for i in range(6)] + [f"fpga{i}" for i in range(6)]
+    for res in runs:
+        try:
+            res.trace.check_exclusive(exclusive)
+        except CausalityViolation as exc:  # pragma: no cover
+            pytest.fail(f"causality violation: {exc}")
+
+
+def test_trace_busy_matches_node_counters(spec):
+    """The trace's fpga busy time equals the node accounting."""
+    res = simulate_fw(
+        spec, FwSimConfig(n=6144, b=256, k=8, l1=1, l2=3, iterations=1), trace=True
+    )
+    for i in range(6):
+        assert res.trace.busy_time(f"fpga{i}") == pytest.approx(res.fpga_busy[i], rel=1e-9)
+
+
+def test_bottleneck_report_consistent_with_result(spec):
+    res = simulate_fw(
+        spec, FwSimConfig(n=6144, b=256, k=8, l1=0, l2=4, iterations=1), trace=True
+    )
+    report = analyse_trace(res.trace, makespan=res.elapsed)
+    assert report.makespan == pytest.approx(res.elapsed)
+    # FPGA-only: the binding lane must be an FPGA.
+    assert report.binding_lane.startswith("fpga")
+
+
+# ----------------------------------------------- machine parameterisation
+
+
+def test_designs_follow_machine_speed(spec):
+    """Doubling every machine rate halves simulated time (the stack is
+    linear in the rates end to end)."""
+    import dataclasses
+
+    fast_proc = dataclasses.replace(
+        spec.node.processor,
+        clock_hz=spec.node.processor.clock_hz * 2,
+        sustained={k: v * 2 for k, v in spec.node.processor.sustained.items()},
+    )
+    fast_design = MatrixMultiplyDesign(
+        k=8, freq_hz=260e6, device=spec.node.fpga.device
+    )
+    fast_node = dataclasses.replace(spec.node, processor=fast_proc)
+    fast_net = dataclasses.replace(spec.network, bandwidth=4e9)
+    fast_spec = dataclasses.replace(spec, node=fast_node, network=fast_net)
+
+    cfg = LuSimConfig(n=9000, b=3000, k=8, b_f=1080, l=3)
+    base = simulate_lu(spec, cfg)
+    fast = simulate_lu(fast_spec, cfg, design=fast_design)
+    assert fast.elapsed == pytest.approx(base.elapsed / 2, rel=0.01)
+
+
+def test_more_nodes_speed_up_fw():
+    """The FW design scales with chassis size (fixed per-node load)."""
+    gflops = []
+    for p in (3, 6, 12):
+        spec = cray_xd1(p=p)
+        n = 256 * p * 12
+        design = FwDesign(spec, n=n, b=256)
+        gflops.append(design.simulate().gflops)
+    assert gflops[0] < gflops[1] < gflops[2]
+
+
+def test_fpga_designs_interchangeable_on_fabric(spec):
+    """Both application designs load onto the same node FPGA (fabric
+    reconfiguration between applications)."""
+    from repro.machine import ReconfigurableSystem
+
+    system = ReconfigurableSystem(spec)
+    node = system.nodes[0]
+    node.configure_fpga(MatrixMultiplyDesign.for_device())
+    assert node.b_d == pytest.approx(1.04e9)
+    node.configure_fpga(FloydWarshallDesign.for_device())
+    assert node.b_d == pytest.approx(960e6)

@@ -1,0 +1,139 @@
+"""Tests for the BLAS-substitute kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    gemm,
+    gemm_flops,
+    getrf_flops,
+    getrf_nopiv,
+    random_dd_matrix,
+    split_lu,
+    trsm_flops,
+    trsm_lower_left_unit,
+    trsm_upper_right,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+# -------------------------------------------------------------------- gemm
+
+
+def test_gemm_matches_numpy(rng):
+    a = rng.standard_normal((5, 7))
+    b = rng.standard_normal((7, 3))
+    np.testing.assert_allclose(gemm(a, b), a @ b)
+
+
+def test_gemm_alpha_beta(rng):
+    a = rng.standard_normal((4, 4))
+    b = rng.standard_normal((4, 4))
+    c = rng.standard_normal((4, 4))
+    out = gemm(a, b, c, alpha=2.0, beta=-1.0)
+    np.testing.assert_allclose(out, 2.0 * (a @ b) - c)
+
+
+def test_gemm_shape_errors(rng):
+    with pytest.raises(ValueError, match="incompatible"):
+        gemm(np.zeros((2, 3)), np.zeros((2, 3)))
+    with pytest.raises(ValueError, match="C shape"):
+        gemm(np.zeros((2, 3)), np.zeros((3, 2)), c=np.zeros((3, 3)))
+
+
+# ------------------------------------------------------------------ getrf
+
+
+def test_getrf_reconstructs(rng):
+    a = random_dd_matrix(12, rng)
+    lu = getrf_nopiv(a)
+    lower, upper = split_lu(lu)
+    np.testing.assert_allclose(lower @ upper, a, rtol=1e-12, atol=1e-12)
+
+
+def test_getrf_unit_diagonal(rng):
+    lower, _ = split_lu(getrf_nopiv(random_dd_matrix(8, rng)))
+    np.testing.assert_array_equal(np.diag(lower), np.ones(8))
+
+
+def test_getrf_pure(rng):
+    a = random_dd_matrix(6, rng)
+    a0 = a.copy()
+    getrf_nopiv(a)
+    np.testing.assert_array_equal(a, a0)
+
+
+def test_getrf_zero_pivot_raises():
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])  # needs pivoting
+    with pytest.raises(ZeroDivisionError, match="pivot"):
+        getrf_nopiv(a)
+
+
+def test_getrf_nonsquare_rejected():
+    with pytest.raises(ValueError, match="square"):
+        getrf_nopiv(np.zeros((3, 4)))
+
+
+def test_getrf_1x1():
+    lu = getrf_nopiv(np.array([[5.0]]))
+    np.testing.assert_array_equal(lu, [[5.0]])
+
+
+# ------------------------------------------------------------------- trsm
+
+
+def test_trsm_lower_left_unit(rng):
+    lower, _ = split_lu(getrf_nopiv(random_dd_matrix(9, rng)))
+    b = rng.standard_normal((9, 5))
+    x = trsm_lower_left_unit(lower, b)
+    np.testing.assert_allclose(lower @ x, b, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(x, np.linalg.solve(lower, b), rtol=1e-10)
+
+
+def test_trsm_upper_right(rng):
+    _, upper = split_lu(getrf_nopiv(random_dd_matrix(9, rng)))
+    b = rng.standard_normal((5, 9))
+    x = trsm_upper_right(upper, b)
+    np.testing.assert_allclose(x @ upper, b, rtol=1e-12, atol=1e-10)
+
+
+def test_trsm_shape_errors(rng):
+    with pytest.raises(ValueError):
+        trsm_lower_left_unit(np.zeros((3, 3)), np.zeros((4, 2)))
+    with pytest.raises(ValueError):
+        trsm_upper_right(np.zeros((3, 3)), np.zeros((2, 4)))
+
+
+def test_trsm_upper_singular():
+    u = np.triu(np.ones((3, 3)))
+    u[1, 1] = 0.0
+    with pytest.raises(ZeroDivisionError, match="singular"):
+        trsm_upper_right(u, np.ones((2, 3)))
+
+
+def test_trsm_pure(rng):
+    lower, _ = split_lu(getrf_nopiv(random_dd_matrix(5, rng)))
+    b = rng.standard_normal((5, 2))
+    b0 = b.copy()
+    trsm_lower_left_unit(lower, b)
+    np.testing.assert_array_equal(b, b0)
+
+
+# ------------------------------------------------------------------- flops
+
+
+def test_flop_counts():
+    assert gemm_flops(2, 3, 4) == 48
+    assert getrf_flops(3000) == pytest.approx((2 / 3) * 3000**3)
+    assert trsm_flops(3000, 3000) == pytest.approx(3000**3)
+    with pytest.raises(ValueError):
+        gemm_flops(-1, 2, 3)
+
+
+def test_split_lu_nonsquare():
+    with pytest.raises(ValueError):
+        split_lu(np.zeros((2, 3)))

@@ -1,0 +1,123 @@
+"""Tests for blocked Floyd-Warshall (functional reference)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    blocked_floyd_warshall,
+    floyd_warshall_simple,
+    fwi,
+    max_abs_diff,
+    random_distance_matrix,
+    scipy_shortest_paths,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+def test_simple_fw_matches_scipy(rng):
+    d = random_distance_matrix(12, rng)
+    np.testing.assert_allclose(floyd_warshall_simple(d), scipy_shortest_paths(d))
+
+
+def test_blocked_fw_matches_scipy(rng):
+    d = random_distance_matrix(24, rng)
+    res = blocked_floyd_warshall(d, b=6)
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-12
+
+
+@pytest.mark.parametrize("n,b", [(8, 2), (12, 4), (16, 16), (20, 5), (18, 3)])
+def test_blocked_fw_many_shapes(rng, n, b):
+    d = random_distance_matrix(n, rng, density=0.5)
+    res = blocked_floyd_warshall(d, b=b)
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-12
+
+
+def test_blocked_fw_matches_networkx(rng):
+    """Cross-check against an independent graph library."""
+    n = 10
+    d = random_distance_matrix(n, rng, density=0.6)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and np.isfinite(d[i, j]):
+                g.add_edge(i, j, weight=d[i, j])
+    expected = np.full((n, n), np.inf)
+    np.fill_diagonal(expected, 0.0)
+    for src, lengths in nx.all_pairs_dijkstra_path_length(g):
+        for dst, w in lengths.items():
+            expected[src, dst] = w
+    res = blocked_floyd_warshall(d, b=5)
+    assert max_abs_diff(res.dist, expected) < 1e-9
+
+
+def test_blocked_fw_handles_disconnected(rng):
+    d = np.full((8, 8), np.inf)
+    np.fill_diagonal(d, 0.0)
+    d[0, 1] = 1.0  # a single edge; everything else disconnected
+    res = blocked_floyd_warshall(d, b=4)
+    assert res.dist[0, 1] == 1.0
+    assert np.isinf(res.dist[1, 0])
+    assert np.isinf(res.dist[2, 5])
+
+
+def test_op_counts(rng):
+    """Per iteration: 1 op1, nb-1 op21, nb-1 op22, (nb-1)^2 op3."""
+    d = random_distance_matrix(16, rng)
+    res = blocked_floyd_warshall(d, b=4)  # nb = 4
+    nb = 4
+    assert res.op_counts["op1"] == nb
+    assert res.op_counts["op21"] == nb * (nb - 1)
+    assert res.op_counts["op22"] == nb * (nb - 1)
+    assert res.op_counts["op3"] == nb * (nb - 1) ** 2
+    # Total ops * 2b^3 flops each = 2 n^3 exactly.
+    total_ops = sum(res.op_counts.values())
+    assert total_ops == nb**2 * nb
+    assert res.flops == pytest.approx(2 * 16**3)
+
+
+def test_fwi_validation():
+    with pytest.raises(ValueError, match="must all be"):
+        fwi(np.zeros((4, 4)), np.zeros((3, 3)), None)
+
+
+def test_blocked_fw_validation(rng):
+    with pytest.raises(ValueError, match="divide"):
+        blocked_floyd_warshall(random_distance_matrix(10, rng), b=3)
+    with pytest.raises(ValueError, match="square"):
+        blocked_floyd_warshall(np.zeros((3, 4)), b=1)
+    d = random_distance_matrix(4, rng)
+    d[0, 0] = -1.0
+    with pytest.raises(ValueError, match="negative"):
+        blocked_floyd_warshall(d, b=2)
+
+
+def test_blocked_fw_pure(rng):
+    d = random_distance_matrix(8, rng)
+    d0 = d.copy()
+    blocked_floyd_warshall(d, 4)
+    np.testing.assert_array_equal(d, d0)
+
+
+def test_fw_idempotent(rng):
+    """Shortest-path matrices are fixed points of FW."""
+    d = random_distance_matrix(12, rng)
+    closed = floyd_warshall_simple(d)
+    again = floyd_warshall_simple(closed)
+    # Tolerance only for addition round-off; no path may actually shorten.
+    assert max_abs_diff(closed, again) < 1e-12
+
+
+def test_triangle_inequality(rng):
+    """Closed distance matrices satisfy d[i,j] <= d[i,k] + d[k,j]."""
+    d = random_distance_matrix(10, rng)
+    closed = floyd_warshall_simple(d)
+    for k in range(10):
+        lhs = closed
+        rhs = closed[:, k : k + 1] + closed[k : k + 1, :]
+        assert np.all(lhs <= rhs + 1e-9)

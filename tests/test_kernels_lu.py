@@ -1,0 +1,95 @@
+"""Tests for block LU decomposition (functional reference)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    block_lu,
+    getrf_nopiv,
+    lu_nopiv,
+    lu_residual,
+    random_dd_matrix,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+def test_block_lu_reconstructs(rng):
+    a = random_dd_matrix(24, rng)
+    res = block_lu(a, b=6)
+    assert lu_residual(a, res.lu) < 1e-12
+
+
+@pytest.mark.parametrize("n,b", [(8, 2), (12, 3), (16, 16), (20, 4), (30, 5)])
+def test_block_lu_many_shapes(rng, n, b):
+    a = random_dd_matrix(n, rng)
+    assert lu_residual(a, block_lu(a, b).lu) < 1e-11
+
+
+def test_block_lu_matches_unblocked(rng):
+    """Blocked and unblocked LU produce the same packed factors."""
+    a = random_dd_matrix(18, rng)
+    blocked = block_lu(a, b=6).lu
+    unblocked = getrf_nopiv(a)
+    np.testing.assert_allclose(blocked, unblocked, rtol=1e-10, atol=1e-12)
+
+
+def test_block_lu_single_block_equals_getrf(rng):
+    a = random_dd_matrix(10, rng)
+    np.testing.assert_allclose(block_lu(a, 10).lu, getrf_nopiv(a))
+
+
+def test_block_lu_op_counts(rng):
+    """Iteration t does 1 opLU, (nb-t-1) opL, (nb-t-1) opU, (nb-t-1)^2 opMM."""
+    a = random_dd_matrix(20, rng)
+    res = block_lu(a, b=5)  # nb = 4
+    nb = 4
+    assert res.op_counts["opLU"] == nb
+    assert res.op_counts["opL"] == sum(nb - t - 1 for t in range(nb))
+    assert res.op_counts["opU"] == sum(nb - t - 1 for t in range(nb))
+    assert res.op_counts["opMM"] == sum((nb - t - 1) ** 2 for t in range(nb))
+    assert res.op_counts["opMS"] == res.op_counts["opMM"]
+
+
+def test_block_lu_flops_close_to_two_thirds_cubed(rng):
+    """Total counted flops approach (2/3) n^3 for many blocks."""
+    n = 60
+    a = random_dd_matrix(n, rng)
+    res = block_lu(a, b=6)
+    assert res.flops == pytest.approx((2 / 3) * n**3, rel=0.25)
+
+
+def test_block_lu_validation():
+    with pytest.raises(ValueError, match="divide"):
+        block_lu(np.eye(10), b=3)
+    with pytest.raises(ValueError, match="square"):
+        block_lu(np.zeros((4, 6)), b=2)
+    with pytest.raises(ValueError, match="divide"):
+        block_lu(np.eye(4), b=0)
+
+
+def test_block_lu_pure(rng):
+    a = random_dd_matrix(8, rng)
+    a0 = a.copy()
+    block_lu(a, 4)
+    np.testing.assert_array_equal(a, a0)
+
+
+def test_lu_nopiv_wrapper(rng):
+    a = random_dd_matrix(7, rng)
+    res = lu_nopiv(a)
+    assert res.op_counts["opLU"] == 1
+    assert lu_residual(a, res.lu) < 1e-13
+    assert res.flops == pytest.approx((2 / 3) * 7**3)
+
+
+def test_factors_property(rng):
+    a = random_dd_matrix(9, rng)
+    lower, upper = block_lu(a, 3).factors
+    np.testing.assert_array_equal(np.diag(lower), np.ones(9))
+    assert np.allclose(lower, np.tril(lower))
+    assert np.allclose(upper, np.triu(upper))
+    np.testing.assert_allclose(lower @ upper, a, rtol=1e-11, atol=1e-12)

@@ -1,0 +1,103 @@
+"""Functional validation of the distributed LU schedule (real numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lu import distributed_block_lu
+from repro.core import CoordinationGuard
+from repro.kernels import block_lu, lu_residual, random_dd_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+def test_hybrid_schedule_factorises_correctly(rng):
+    a = random_dd_matrix(24, rng)
+    res = distributed_block_lu(a, b=6, p=4, b_f=4, k=2)
+    assert lu_residual(a, res.lu) < 1e-12
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 6])
+def test_many_node_counts(rng, p):
+    a = random_dd_matrix(24, rng)
+    res = distributed_block_lu(a, b=6, p=p, b_f=2, k=2)
+    assert lu_residual(a, res.lu) < 1e-12
+
+
+@pytest.mark.parametrize("b_f", [0, 2, 4, 6])
+def test_all_partitions_give_same_factors(rng, b_f):
+    """CPU-only, hybrid and FPGA-only produce identical numerics."""
+    a = random_dd_matrix(18, rng)
+    res = distributed_block_lu(a, b=6, p=3, b_f=b_f, k=2)
+    ref = block_lu(a, 6).lu
+    np.testing.assert_allclose(res.lu, ref, rtol=1e-9, atol=1e-12)
+
+
+def test_matches_sequential_reference_exactly_when_cpu_only(rng):
+    """With b_f=0 the arithmetic order matches the blocked reference."""
+    a = random_dd_matrix(16, rng)
+    res = distributed_block_lu(a, b=4, p=2, b_f=0)
+    ref = block_lu(a, 4).lu
+    np.testing.assert_allclose(res.lu, ref, rtol=1e-12, atol=1e-14)
+
+
+def test_cycle_level_fpga_model_agrees(rng):
+    """The PE-array path computes the same factors as numpy."""
+    a = random_dd_matrix(24, rng)
+    hw = distributed_block_lu(a, b=6, p=4, b_f=4, k=2, use_hw_model=True)
+    sw = distributed_block_lu(a, b=6, p=4, b_f=4, k=2, use_hw_model=False)
+    np.testing.assert_allclose(hw.lu, sw.lu, rtol=1e-10, atol=1e-12)
+
+
+def test_op_counts_match_closed_form(rng):
+    a = random_dd_matrix(24, rng)
+    res = distributed_block_lu(a, b=6, p=4)  # nb = 4
+    assert res.op_counts["opLU"] == 4
+    assert res.op_counts["opL"] == 6
+    assert res.op_counts["opU"] == 6
+    assert res.op_counts["opMM"] == 14
+    assert res.op_counts["opMS"] == 14
+
+
+def test_messages_are_counted(rng):
+    a = random_dd_matrix(16, rng)
+    res = distributed_block_lu(a, b=4, p=2)
+    assert res.messages > 0
+
+
+def test_coordination_protocol_clean(rng):
+    """The schedule, run with full guard enforcement, never violates the
+    Section 4.4 rules."""
+    a = random_dd_matrix(24, rng)
+    guard = CoordinationGuard(enforce=True)
+    res = distributed_block_lu(a, b=6, p=4, b_f=4, k=2, guard=guard)
+    assert res.guard.clean
+    assert lu_residual(a, res.lu) < 1e-12
+
+
+def test_validation_errors(rng):
+    a = random_dd_matrix(12, rng)
+    with pytest.raises(ValueError, match="divide"):
+        distributed_block_lu(a, b=5, p=2)
+    with pytest.raises(ValueError, match="p >= 2"):
+        distributed_block_lu(a, b=4, p=1)
+    with pytest.raises(ValueError, match="outside"):
+        distributed_block_lu(a, b=4, p=2, b_f=5)
+    with pytest.raises(ValueError, match="square"):
+        distributed_block_lu(np.zeros((4, 6)), b=2, p=2)
+
+
+def test_input_not_mutated(rng):
+    a = random_dd_matrix(12, rng)
+    a0 = a.copy()
+    distributed_block_lu(a, b=4, p=2)
+    np.testing.assert_array_equal(a, a0)
+
+
+def test_factors_property(rng):
+    a = random_dd_matrix(12, rng)
+    res = distributed_block_lu(a, b=4, p=3, b_f=2, k=2)
+    lower, upper = res.factors
+    np.testing.assert_allclose(lower @ upper, a, rtol=1e-11, atol=1e-12)

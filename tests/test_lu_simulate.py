@@ -1,0 +1,188 @@
+"""Tests for the LU discrete-event simulation (paper-scale behaviours).
+
+The paper-scale runs here are fast (seconds of wall time) because the
+DES models superstripe aggregates, not elements.
+"""
+
+import pytest
+
+from repro.apps.lu import LuDesign, LuSimConfig, simulate_block_mm, simulate_lu
+from repro.machine import cray_xd1
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return cray_xd1()
+
+
+@pytest.fixture(scope="module")
+def design(spec):
+    """The planned design at the paper's scale (n=30000, b=3000)."""
+    return LuDesign(spec, n=30000, b=3000)
+
+
+@pytest.fixture(scope="module")
+def comparison(spec, design):
+    """Hybrid + baselines, shared across tests (3 full runs)."""
+    return design.compare()
+
+
+# ------------------------------------------------------- planning facade
+
+
+def test_plan_uses_table1_and_eq5(design):
+    assert design.plan.balance.l == 3  # the paper's value
+    assert design.k == 8
+    assert design.plan.partition.b_f % 8 == 0
+    assert 0 < design.plan.partition.b_f < 3000
+
+
+def test_prediction_in_paper_band(design):
+    assert 22.0 < design.plan.prediction.gflops < 29.0
+
+
+# ----------------------------------------------------- headline behaviours
+
+
+def test_hybrid_near_paper_headline(comparison):
+    """The paper reports 20 GFLOPS for the hybrid LU design."""
+    assert comparison.hybrid.gflops == pytest.approx(20.0, rel=0.15)
+
+
+def test_hybrid_beats_both_baselines(comparison):
+    assert comparison.speedup_vs_cpu > 1.05  # paper: 1.3x
+    assert comparison.speedup_vs_fpga > 1.5  # paper: 2x
+
+
+def test_fpga_only_near_paper(comparison):
+    """The paper's FPGA-only design lands around 10 GFLOPS."""
+    assert comparison.fpga_only.gflops == pytest.approx(10.0, rel=0.2)
+
+
+def test_fraction_of_baseline_sum(comparison):
+    """Paper: the hybrid achieves ~80% of the sum of the baselines."""
+    assert 0.6 < comparison.fraction_of_sum < 0.95
+
+
+def test_measured_below_prediction(comparison):
+    """Section 4.5 prediction assumes perfect overlap; the simulated run
+    must come in below it but within a credible fraction."""
+    assert 0.6 < comparison.fraction_of_predicted < 1.0
+
+
+def test_work_conservation(comparison):
+    """CPU + FPGA busy time accounts for all scheduled flops."""
+    res = comparison.hybrid
+    cfg = res.config
+    # FPGA flops: fraction b_f/b of all opMM work.
+    nb = cfg.nb
+    mm_flops = sum(2.0 * cfg.b**3 * (nb - t - 1) ** 2 for t in range(nb))
+    expected_fpga = mm_flops * cfg.b_f / cfg.b
+    fpga_rate = 2 * cfg.k * 130e6
+    assert sum(res.fpga_busy) == pytest.approx(expected_fpga / fpga_rate, rel=0.01)
+
+
+def test_flop_accounting_cpu_only(comparison):
+    assert sum(comparison.cpu_only.fpga_busy) == 0.0
+    assert comparison.cpu_only.fpga_utilisation == 0.0
+
+
+# ----------------------------------------------------------- l behaviour
+
+
+def test_latency_improves_with_l(spec):
+    """Figure 6's left arm: starving the workers (small l) hurts."""
+    lat = {}
+    for l in (0, 1, 3):
+        cfg = LuSimConfig(n=30000, b=3000, k=8, b_f=1080, l=l, iterations=1)
+        lat[l] = simulate_lu(spec, cfg).elapsed
+    assert lat[0] > lat[1] > lat[3]
+
+
+def test_latency_flat_beyond_optimum(spec):
+    """Figure 6's right arm: beyond the Eq.5 value gains vanish."""
+    cfg4 = LuSimConfig(n=30000, b=3000, k=8, b_f=1080, l=4, iterations=1)
+    cfg8 = LuSimConfig(n=30000, b=3000, k=8, b_f=1080, l=8, iterations=1)
+    t4 = simulate_lu(spec, cfg4).elapsed
+    t8 = simulate_lu(spec, cfg8).elapsed
+    assert t8 == pytest.approx(t4, rel=0.05)
+
+
+# ------------------------------------------------------ block MM (Fig 5)
+
+
+def test_block_mm_u_shape(spec):
+    """Figure 5: latency falls as b_f grows to the optimum, then rises."""
+    lats = {bf: simulate_block_mm(spec, 3000, bf, 8) for bf in (0, 512, 1080, 2048, 3000)}
+    assert lats[512] < lats[0]
+    assert lats[1080] < lats[512]
+    assert lats[2048] > lats[1080]
+    assert lats[3000] > lats[2048]
+
+
+def test_block_mm_minimum_near_solved_bf(spec):
+    """The sweep minimum sits at the Eq. 4 solution (to k granularity)."""
+    candidates = {bf: simulate_block_mm(spec, 3000, bf, 8) for bf in range(960, 1240, 40)}
+    best = min(candidates, key=candidates.get)
+    assert abs(best - 1080) <= 80
+
+
+def test_block_mm_endpoints_match_model(spec):
+    """b_f = 0: pure CPU time; b_f = b: pure FPGA pipeline time."""
+    cpu_lat = simulate_block_mm(spec, 3000, 0, 8)
+    # 2 b^3/(p-1) flops at 3.9 GFLOPS plus the streamed receives.
+    assert cpu_lat == pytest.approx(2 * 3000**3 / 5 / 3.9e9, rel=0.05)
+    fpga_lat = simulate_block_mm(spec, 3000, 3000, 8)
+    # b_f b^2 / ((p-1) k F_f) with b_f = b = 3000.
+    assert fpga_lat == pytest.approx(3000 * 3000**2 / (5 * 8 * 130e6), rel=0.05)
+
+
+def test_block_mm_validation(spec):
+    with pytest.raises(ValueError):
+        simulate_block_mm(spec, 3000, -1, 8)
+    with pytest.raises(ValueError):
+        simulate_block_mm(spec, 3001, 8, 8)
+
+
+# ------------------------------------------------------------- config API
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="divide"):
+        LuSimConfig(n=30001, b=3000, k=8, b_f=0, l=3)
+    with pytest.raises(ValueError, match="outside"):
+        LuSimConfig(n=30000, b=3000, k=8, b_f=4000, l=3)
+    with pytest.raises(ValueError, match="multiple of k"):
+        LuSimConfig(n=30000, b=3000, k=7, b_f=0, l=3)
+    with pytest.raises(ValueError, match="l must be"):
+        LuSimConfig(n=30000, b=3000, k=8, b_f=0, l=-1)
+    with pytest.raises(ValueError, match="superstripes"):
+        LuSimConfig(n=30000, b=3000, k=8, b_f=0, l=3, superstripes=0)
+
+
+def test_overlap_ablation_is_slower(spec):
+    """Disabling comm/compute overlap (Section 4's refinement) costs time."""
+    base = simulate_lu(spec, LuSimConfig(n=12000, b=3000, k=8, b_f=1080, l=3))
+    nolap = simulate_lu(
+        spec, LuSimConfig(n=12000, b=3000, k=8, b_f=1080, l=3, overlap=False)
+    )
+    assert nolap.elapsed > base.elapsed
+
+
+def test_trace_capture(spec):
+    cfg = LuSimConfig(n=6000, b=3000, k=8, b_f=1080, l=3)
+    res = simulate_lu(spec, cfg, trace=True)
+    assert res.trace is not None
+    lanes = res.trace.lanes()
+    assert any(lane.startswith("cpu") for lane in lanes)
+    assert any(lane.startswith("fpga") for lane in lanes)
+    # Exclusive lanes never double-book.
+    res.trace.check_exclusive([f"fpga{i}" for i in range(6)])
+
+
+def test_gflops_zero_guard():
+    from repro.apps.lu.simulate import LuSimResult
+
+    cfg = LuSimConfig(n=6000, b=3000, k=8, b_f=0, l=1)
+    empty = LuSimResult(elapsed=0.0, useful_flops=1.0, config=cfg, trace=None)
+    assert empty.gflops == 0.0

@@ -1,0 +1,177 @@
+"""Tests for the extension application: distributed hybrid ring MM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mm import (
+    COL_TILE,
+    MmDesign,
+    MmSimConfig,
+    distributed_ring_mm,
+    mm_row_partition,
+    simulate_mm,
+)
+from repro.core import CoordinationGuard, SystemParameters
+from repro.hw import MatrixMultiplyDesign
+from repro.machine import cray_xd1
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return cray_xd1()
+
+
+@pytest.fixture(scope="module")
+def params(spec):
+    return spec.parameters("dgemm", MatrixMultiplyDesign.for_device())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+# ---------------------------------------------------------------- partition
+
+
+def test_partition_conserves_rows(params):
+    part = mm_row_partition(30000, 8, params)
+    assert part.m_f + part.m_p == part.r == 5000
+    assert part.m_f % 8 == 0
+    assert part.sram_words <= params.sram_words
+
+
+def test_partition_balances_eq2(params):
+    """At the (unrounded) solution the two paths are equal: Eq. (2)."""
+    part = mm_row_partition(30000, 8, params)
+    # With rounding to k the paths stay within a fraction of a percent.
+    lhs = part.t_p + part.t_mem + part.t_net
+    assert lhs == pytest.approx(part.t_f, rel=0.02)
+
+
+def test_partition_sram_constraint_binds_when_small(params):
+    tight = params.with_(sram_bytes=COL_TILE * 8 * 64)  # room for 64 rows
+    part = mm_row_partition(30000, 8, tight)
+    assert part.m_f <= 64
+
+
+def test_partition_validation(params):
+    with pytest.raises(ValueError, match="divide"):
+        mm_row_partition(30001, 8, params)
+    with pytest.raises(ValueError, match="multiple of k"):
+        mm_row_partition(30, 4, params.with_(p=6))  # r = 5, not multiple of 4
+
+
+# ---------------------------------------------------------------- timing
+
+
+@pytest.fixture(scope="module")
+def comparison(spec):
+    return MmDesign(spec, n=30000).compare()
+
+
+def test_hybrid_beats_both_baselines(comparison):
+    assert comparison.speedup_vs_cpu > 1.3
+    assert comparison.speedup_vs_fpga > 2.0
+
+
+def test_baselines_hit_device_peaks(comparison):
+    """Ring MM is compute-dense: baselines approach 6 x device rate."""
+    assert comparison.cpu_only.gflops == pytest.approx(6 * 3.9, rel=0.02)
+    assert comparison.fpga_only.gflops == pytest.approx(6 * 2.08, rel=0.02)
+
+
+def test_hybrid_approaches_sum_of_baselines(comparison):
+    """Unlike LU (serial panel path), ring MM can near-perfectly combine
+    both devices -- the model's best case."""
+    assert comparison.fraction_of_sum > 0.95
+
+
+def test_measured_matches_prediction(comparison):
+    assert 0.9 < comparison.fraction_of_predicted <= 1.001
+
+
+def test_work_conservation(comparison):
+    res = comparison.hybrid
+    cfg = res.config
+    r = cfg.n // 6
+    expected_fpga_flops = 6 * 6 * 2.0 * cfg.m_f * r * cfg.n  # p nodes x p steps
+    fpga_rate = 2 * cfg.k * 130e6
+    assert sum(res.fpga_busy) == pytest.approx(expected_fpga_flops / fpga_rate, rel=0.01)
+
+
+def test_overlap_ablation(spec):
+    base = simulate_mm(spec, MmSimConfig(n=12000, k=8, m_f=2000))
+    nolap = simulate_mm(spec, MmSimConfig(n=12000, k=8, m_f=2000, overlap=False))
+    assert nolap.elapsed >= base.elapsed
+
+
+def test_sim_config_validation(spec):
+    with pytest.raises(ValueError, match="divide"):
+        simulate_mm(spec, MmSimConfig(n=30001, k=8, m_f=0))
+    with pytest.raises(ValueError, match="exceeds panel"):
+        simulate_mm(spec, MmSimConfig(n=12000, k=8, m_f=3000))
+    with pytest.raises(ValueError, match="multiple of k"):
+        simulate_mm(spec, MmSimConfig(n=12000, k=8, m_f=1001))
+    with pytest.raises(ValueError):
+        MmSimConfig(n=0, k=8, m_f=0)
+    with pytest.raises(ValueError):
+        MmSimConfig(n=12, k=8, m_f=-1)
+
+
+def test_trace(spec):
+    res = simulate_mm(spec, MmSimConfig(n=12000, k=8, m_f=1000), trace=True)
+    res.trace.check_exclusive([f"fpga{i}" for i in range(6)])
+    assert res.network_bytes > 0
+
+
+# --------------------------------------------------------------- functional
+
+
+def test_functional_matches_numpy(rng):
+    a = rng.standard_normal((24, 24))
+    b = rng.standard_normal((24, 24))
+    res = distributed_ring_mm(a, b, p=4, m_f=3, k=1)
+    np.testing.assert_allclose(res.product, a @ b, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 6])
+def test_functional_many_node_counts(rng, p):
+    a = rng.standard_normal((12, 12))
+    b = rng.standard_normal((12, 12))
+    res = distributed_ring_mm(a, b, p=p, m_f=0)
+    np.testing.assert_allclose(res.product, a @ b, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("m_f", [0, 2, 4, 6])
+def test_functional_split_invariance(rng, m_f):
+    a = rng.standard_normal((24, 24))
+    b = rng.standard_normal((24, 24))
+    res = distributed_ring_mm(a, b, p=4, m_f=m_f, k=2)
+    np.testing.assert_allclose(res.product, a @ b, rtol=1e-12, atol=1e-12)
+
+
+def test_functional_hw_model_and_guard(rng):
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    guard = CoordinationGuard(enforce=True)
+    res = distributed_ring_mm(a, b, p=2, m_f=4, k=2, use_hw_model=True, guard=guard)
+    np.testing.assert_allclose(res.product, a @ b, rtol=1e-11, atol=1e-11)
+    assert res.guard.clean
+    assert res.device_rows["fpga"] > 0
+
+
+def test_functional_validation(rng):
+    a = rng.standard_normal((12, 12))
+    with pytest.raises(ValueError, match="divide"):
+        distributed_ring_mm(a, a, p=5)
+    with pytest.raises(ValueError, match="square"):
+        distributed_ring_mm(np.zeros((3, 4)), np.zeros((4, 3)), p=1)
+    with pytest.raises(ValueError, match="outside"):
+        distributed_ring_mm(a, a, p=4, m_f=9)
+
+
+def test_message_count(rng):
+    a = rng.standard_normal((12, 12))
+    res = distributed_ring_mm(a, a, p=4, m_f=0)
+    assert res.messages == 4 * 3  # p nodes forward for p-1 steps

@@ -1,0 +1,221 @@
+"""Tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ReconfigurableSystem, cray_xd1
+from repro.mpi import Communicator, payload_bytes
+
+
+@pytest.fixture
+def system():
+    return ReconfigurableSystem(cray_xd1(p=4))
+
+
+@pytest.fixture
+def comm(system):
+    return Communicator(system)
+
+
+def run_ranks(comm, fn):
+    """Spawn fn(view) as one process per rank; run; return {rank: result}."""
+    results = {}
+
+    def wrap(rank):
+        def proc():
+            value = yield from fn(comm.view(rank))
+            results[rank] = value
+
+        return proc()
+
+    for rank in range(comm.size):
+        comm.sim.process(wrap(rank), name=f"rank{rank}")
+    comm.sim.run()
+    return results
+
+
+# --------------------------------------------------------------- payloads
+
+
+def test_payload_bytes_variants():
+    assert payload_bytes(None) == 0
+    assert payload_bytes(3.14) == 8
+    assert payload_bytes(np.zeros((10, 10))) == 800
+    assert payload_bytes([1, 2, 3]) == 24
+    assert payload_bytes(object()) == 8
+
+
+# ------------------------------------------------------------ point-to-point
+
+
+def test_send_recv_payload_and_timing(comm):
+    def fn(me):
+        if me.rank == 0:
+            yield from me.send(1, data="hello", nbytes=2e9)  # 1 s at B_n = 2 GB/s
+            return None
+        if me.rank == 1:
+            data = yield from me.recv(0)
+            return (data, me.sim.now)
+        return None
+        yield  # pragma: no cover
+
+    results = run_ranks(comm, fn)
+    data, t = results[1]
+    assert data == "hello"
+    assert t == pytest.approx(1.0, rel=1e-3)  # + tiny link latency
+
+
+def test_messages_do_not_overtake(comm):
+    """Two sends on the same (src, dst, tag) arrive in order."""
+
+    def fn(me):
+        if me.rank == 0:
+            yield from me.send(1, data="first", nbytes=8)
+            yield from me.send(1, data="second", nbytes=8)
+            return None
+        if me.rank == 1:
+            a = yield from me.recv(0)
+            b = yield from me.recv(0)
+            return (a, b)
+        return None
+        yield  # pragma: no cover
+
+    assert run_ranks(comm, fn)[1] == ("first", "second")
+
+
+def test_tags_demultiplex(comm):
+    def fn(me):
+        if me.rank == 0:
+            yield from me.send(1, data="red", nbytes=8, tag="a")
+            yield from me.send(1, data="blue", nbytes=8, tag="b")
+            return None
+        if me.rank == 1:
+            blue = yield from me.recv(0, tag="b")
+            red = yield from me.recv(0, tag="a")
+            return (red, blue)
+        return None
+        yield  # pragma: no cover
+
+    assert run_ranks(comm, fn)[1] == ("red", "blue")
+
+
+def test_recv_blocks_until_message(comm):
+    def fn(me):
+        if me.rank == 1:
+            data = yield from me.recv(0)
+            return (data, me.sim.now)
+        if me.rank == 0:
+            yield me.sim.timeout(5.0)
+            yield from me.send(1, data=42, nbytes=8)
+        return None
+
+    _, t = run_ranks(comm, fn)[1]
+    assert t >= 5.0
+
+
+def test_self_send_rejected(comm):
+    with pytest.raises(ValueError, match="itself"):
+        list(comm.send(0, 0, None, nbytes=1))
+
+
+def test_bad_rank_rejected(comm):
+    with pytest.raises(ValueError, match="out of range"):
+        comm.view(7)
+
+
+# ----------------------------------------------------------------- collectives
+
+
+def test_bcast_delivers_to_all(comm):
+    def fn(me):
+        data = "block" if me.rank == 2 else None
+        got = yield from me.bcast(2, data, nbytes=1e6)
+        return got
+
+    results = run_ranks(comm, fn)
+    assert all(v == "block" for v in results.values())
+
+
+def test_scatter_deals_chunks(comm):
+    def fn(me):
+        chunks = [f"c{i}" for i in range(me.size)] if me.rank == 0 else None
+        got = yield from me.scatter(0, chunks, nbytes=8)
+        return got
+
+    results = run_ranks(comm, fn)
+    assert results == {0: "c0", 1: "c1", 2: "c2", 3: "c3"}
+
+
+def test_scatter_requires_p_chunks(comm):
+    with pytest.raises(ValueError, match="chunks"):
+        list(comm.scatter(0, 0, chunks=["only-one"]))
+
+
+def test_gather_collects_in_rank_order(comm):
+    def fn(me):
+        got = yield from me.gather(3, data=me.rank * 10, nbytes=8)
+        return got
+
+    results = run_ranks(comm, fn)
+    assert results[3] == [0, 10, 20, 30]
+    assert results[0] is None
+
+
+def test_barrier_synchronises(comm):
+    def fn(me):
+        yield me.sim.timeout(float(me.rank))  # stagger arrivals 0..3
+        yield from me.barrier()
+        return me.sim.now
+
+    results = run_ranks(comm, fn)
+    assert all(t == pytest.approx(3.0) for t in results.values())
+
+
+def test_barrier_reusable(comm):
+    def fn(me):
+        yield me.sim.timeout(float(me.rank))
+        yield from me.barrier()
+        first = me.sim.now
+        yield me.sim.timeout(float(me.size - me.rank))
+        yield from me.barrier()
+        return (first, me.sim.now)
+
+    results = run_ranks(comm, fn)
+    for first, second in results.values():
+        assert first == pytest.approx(3.0)
+        assert second == pytest.approx(7.0)
+
+
+def test_comm_time_recorded_on_mpi_lane(comm):
+    """Section 4.3: processor computations cannot overlap communication --
+    the trace shows MPI occupancy on per-node mpi lanes (separate from
+    the exclusive cpu compute lanes, because concurrent sends may ride
+    the node's two links)."""
+
+    def fn(me):
+        if me.rank == 0:
+            yield from me.send(1, data=None, nbytes=2e9)
+        elif me.rank == 1:
+            yield from me.recv(0)
+        return None
+
+    run_ranks(comm, fn)
+    trace = comm.sim.trace
+    sends = [iv for iv in trace.by_category("mpi0") if iv.label.startswith("mpi:send")]
+    recvs = [iv for iv in trace.by_category("mpi1") if iv.label.startswith("mpi:recv")]
+    assert len(sends) == 1 and len(recvs) == 1
+    assert sends[0].duration == pytest.approx(1.0, rel=1e-3)
+
+
+def test_wire_time_uses_network_bandwidth(comm):
+    """4 GB at 2 GB/s = 2 s."""
+
+    def fn(me):
+        if me.rank == 0:
+            yield from me.send(3, data=None, nbytes=4e9)
+        elif me.rank == 3:
+            yield from me.recv(0)
+            return me.sim.now
+        return None
+
+    assert run_ranks(comm, fn)[3] == pytest.approx(2.0, rel=1e-3)

@@ -1,0 +1,100 @@
+"""Tests for the extended MPI collectives (reduce/allreduce/allgather/alltoall)."""
+
+import pytest
+
+from repro.machine import ReconfigurableSystem, cray_xd1
+from repro.mpi import Communicator
+
+
+@pytest.fixture
+def comm():
+    return Communicator(ReconfigurableSystem(cray_xd1(p=4)))
+
+
+def run_ranks(comm, fn):
+    results = {}
+
+    def wrap(rank):
+        def proc():
+            results[rank] = yield from fn(comm.view(rank))
+
+        return proc()
+
+    for rank in range(comm.size):
+        comm.sim.process(wrap(rank), name=f"rank{rank}")
+    comm.sim.run()
+    return results
+
+
+def test_reduce_sums_at_root(comm):
+    def fn(me):
+        return (yield from me.reduce(2, data=me.rank + 1, nbytes=8))
+
+    results = run_ranks(comm, fn)
+    assert results[2] == 1 + 2 + 3 + 4
+    assert results[0] is None and results[3] is None
+
+
+def test_reduce_custom_op(comm):
+    def fn(me):
+        return (yield from me.reduce(0, data=me.rank, op=max, nbytes=8))
+
+    assert run_ranks(comm, fn)[0] == 3
+
+
+def test_allreduce_everyone_gets_total(comm):
+    def fn(me):
+        return (yield from me.allreduce(data=10 * (me.rank + 1), nbytes=8))
+
+    results = run_ranks(comm, fn)
+    assert all(v == 100 for v in results.values())
+
+
+def test_allgather_ring(comm):
+    def fn(me):
+        return (yield from me.allgather(data=f"blk{me.rank}", nbytes=64))
+
+    results = run_ranks(comm, fn)
+    expected = ["blk0", "blk1", "blk2", "blk3"]
+    assert all(v == expected for v in results.values())
+
+
+def test_allgather_ring_takes_p_minus_1_steps(comm):
+    """Each of the p-1 ring steps moves one chunk over one hop: with
+    equal chunk sizes the total time is (p-1) * chunk_time."""
+    chunk = 2e9  # 1 s per hop at B_n = 2 GB/s
+
+    def fn(me):
+        yield from me.allgather(data=me.rank, nbytes=chunk)
+        return me.sim.now
+
+    results = run_ranks(comm, fn)
+    for t in results.values():
+        assert t == pytest.approx(3.0, rel=0.01)
+
+
+def test_alltoall_exchanges_columns(comm):
+    def fn(me):
+        chunks = [f"{me.rank}->{dst}" for dst in range(me.size)]
+        return (yield from me.alltoall(chunks, nbytes=8))
+
+    results = run_ranks(comm, fn)
+    for rank, got in results.items():
+        assert got == [f"{src}->{rank}" for src in range(4)]
+
+
+def test_alltoall_requires_p_chunks(comm):
+    with pytest.raises(ValueError, match="chunks"):
+        list(comm.alltoall(0, ["too", "few"]))
+
+
+def test_collectives_compose(comm):
+    """allgather then allreduce in one program, reusing the communicator."""
+
+    def fn(me):
+        everyone = yield from me.allgather(data=me.rank + 1, nbytes=8)
+        total = yield from me.allreduce(data=sum(everyone), nbytes=8)
+        return total
+
+    results = run_ranks(comm, fn)
+    assert all(v == 4 * 10 for v in results.values())

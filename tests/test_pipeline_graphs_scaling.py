@@ -1,0 +1,172 @@
+"""Tests for pipeline hazard scheduling, graph workloads, and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fw_weak_scaling, lu_strong_scaling, mm_weak_scaling
+from repro.analysis.scaling import to_series
+from repro.hw import DP_ADDER, DP_COMPARATOR, PipelinedCore, min_interleave_for_full_rate
+from repro.kernels import (
+    blocked_floyd_warshall,
+    grid_graph,
+    hub_and_spoke,
+    layered_dag,
+    max_abs_diff,
+    ring_of_cliques,
+    scipy_shortest_paths,
+)
+
+
+# -------------------------------------------------------- pipeline hazards
+
+
+def test_single_accumulator_is_depth_bound():
+    """Naive accumulation: one add per `depth` cycles (the hazard the
+    PE-array schedule exists to avoid)."""
+    core = PipelinedCore(DP_ADDER)
+    stream = [0] * 20  # 20 adds into one accumulator
+    records = core.schedule(stream)
+    gaps = [b.issue_cycle - a.issue_cycle for a, b in zip(records, records[1:])]
+    assert all(g == DP_ADDER.pipeline_stages for g in gaps)
+    assert core.throughput(stream) == pytest.approx(
+        1.0 / DP_ADDER.pipeline_stages, rel=0.1
+    )
+
+
+def test_interleaving_depth_accumulators_restores_full_rate():
+    core = PipelinedCore(DP_ADDER)
+    m = min_interleave_for_full_rate(DP_ADDER)
+    stream = [i % m for i in range(6 * m)]
+    assert core.throughput(stream) == pytest.approx(1.0)
+
+
+def test_insufficient_interleave_throttles():
+    core = PipelinedCore(DP_ADDER)
+    m = DP_ADDER.pipeline_stages // 2
+    stream = [i % m for i in range(10 * m)]
+    thr = core.throughput(stream)
+    assert thr == pytest.approx(m / DP_ADDER.pipeline_stages, rel=0.1)
+
+
+def test_k_squared_tile_schedule_hides_adder_depth():
+    """The k^2-cycle tile gives each PE k^2 = 64 independent accumulator
+    slots per pass -- comfortably above the 12-stage adder depth, which
+    is why the design sustains one MAC per PE per cycle."""
+    assert 8 * 8 >= min_interleave_for_full_rate(DP_ADDER)
+    core = PipelinedCore(DP_ADDER)
+    # One PE's issue stream for a k x k tile: accumulators 0..k^2-1 in
+    # row-major order, repeated for the k rank-1 updates.
+    k = 8
+    stream = [j for _ in range(k) for j in range(k * k)]
+    assert core.throughput(stream) == pytest.approx(1.0)
+
+
+def test_shallow_comparator_needs_little_interleave():
+    assert min_interleave_for_full_rate(DP_COMPARATOR) == DP_COMPARATOR.pipeline_stages
+    core = PipelinedCore(DP_COMPARATOR)
+    assert core.throughput([i % 2 for i in range(40)]) == pytest.approx(1.0)
+
+
+def test_empty_stream():
+    core = PipelinedCore(DP_ADDER)
+    assert core.total_cycles([]) == 0
+    assert core.throughput([]) == 0.0
+
+
+# ------------------------------------------------------------ graph workloads
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+@pytest.mark.parametrize(
+    "make,n",
+    [
+        (lambda r: grid_graph(4, 6, r), 24),
+        (lambda r: hub_and_spoke(24, hubs=3, rng=r), 24),
+        (lambda r: layered_dag(4, 6, r), 24),
+        (lambda r: ring_of_cliques(4, 6, r), 24),
+    ],
+)
+def test_structured_workloads_through_blocked_fw(rng, make, n):
+    d = make(rng)
+    assert d.shape == (n, n)
+    assert np.all(np.diag(d) == 0.0)
+    res = blocked_floyd_warshall(d, b=4)
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-10
+
+
+def test_grid_is_connected_both_ways(rng):
+    d = grid_graph(3, 3, rng)
+    closed = scipy_shortest_paths(d)
+    assert np.all(np.isfinite(closed))
+
+
+def test_layered_dag_is_forward_only(rng):
+    d = layered_dag(3, 2, rng)
+    closed = scipy_shortest_paths(d)
+    assert np.isinf(closed[4, 0])  # no path back to layer 0
+    assert np.isfinite(closed[0, 5])
+
+
+def test_hub_routes_through_hubs(rng):
+    d = hub_and_spoke(12, hubs=1, rng=rng)
+    closed = scipy_shortest_paths(d)
+    # spoke -> spoke must equal spoke -> hub -> spoke
+    assert closed[5, 7] == pytest.approx(d[5, 0] + d[0, 7])
+
+
+def test_generator_validation(rng):
+    with pytest.raises(ValueError):
+        grid_graph(0, 3, rng)
+    with pytest.raises(ValueError):
+        hub_and_spoke(4, hubs=4, rng=rng)
+    with pytest.raises(ValueError):
+        layered_dag(1, 3, rng)
+    with pytest.raises(ValueError):
+        ring_of_cliques(1, 3, rng)
+
+
+def test_fw_cost_is_structure_oblivious(rng):
+    """Same n, same op counts regardless of graph structure."""
+    a = blocked_floyd_warshall(grid_graph(4, 6, rng), 4)
+    b = blocked_floyd_warshall(hub_and_spoke(24, rng=rng), 4)
+    assert a.op_counts == b.op_counts
+    assert a.flops == b.flops
+
+
+# ----------------------------------------------------------------- scaling
+
+
+def test_fw_weak_scaling_monotone():
+    points = fw_weak_scaling(ps=(2, 4, 6))
+    gflops = [pt.gflops for pt in points]
+    assert gflops[0] < gflops[1] < gflops[2]
+    for pt in points:
+        assert 0.9 < pt.efficiency_of_prediction <= 1.0
+
+
+def test_mm_weak_scaling_efficiency_near_one():
+    points = mm_weak_scaling(ps=(2, 4))
+    for pt in points:
+        assert pt.gflops > 0
+        assert 0.85 < pt.efficiency_of_prediction <= 1.01
+
+
+def test_lu_strong_scaling_more_nodes_help():
+    points = lu_strong_scaling(ps=(2, 3, 6), n=18000, b=3000)
+    assert points[-1].gflops > points[0].gflops
+
+
+def test_lu_strong_scaling_divisibility():
+    with pytest.raises(ValueError, match="divisible"):
+        lu_strong_scaling(ps=(8,), n=24000, b=3000)  # p-1 = 7 does not divide
+
+
+def test_to_series():
+    points = fw_weak_scaling(ps=(2, 4))
+    measured, predicted = to_series(points, "fw")
+    assert len(measured) == 2 and len(predicted) == 2
+    assert measured.xs == [2.0, 4.0]

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the distributed applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fw import FwSimConfig, distributed_blocked_fw, simulate_fw
+from repro.apps.lu import LuSimConfig, distributed_block_lu, simulate_lu
+from repro.kernels import (
+    block_lu,
+    blocked_floyd_warshall,
+    lu_residual,
+    max_abs_diff,
+    random_dd_matrix,
+    random_distance_matrix,
+)
+from repro.machine import cray_xd1
+
+
+# ----------------------------------------------------- functional executors
+
+
+lu_shapes = st.sampled_from(
+    # (n, b, p, b_f): b/(p-1) need not be integral for the functional path.
+    [(12, 4, 2, 2), (12, 4, 3, 0), (16, 4, 2, 4), (18, 6, 3, 4), (24, 6, 4, 6), (24, 8, 3, 8)]
+)
+
+
+@given(shape=lu_shapes, seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_distributed_lu_equals_reference(shape, seed):
+    n, b, p, b_f = shape
+    a = random_dd_matrix(n, np.random.default_rng(seed))
+    res = distributed_block_lu(a, b=b, p=p, b_f=b_f, k=2)
+    ref = block_lu(a, b).lu
+    assert lu_residual(a, res.lu) < 1e-10
+    np.testing.assert_allclose(res.lu, ref, rtol=1e-8, atol=1e-10)
+
+
+fw_shapes = st.sampled_from(
+    [(8, 2, 2, 1), (8, 4, 2, 0), (12, 4, 3, 1), (16, 4, 2, 2), (16, 4, 4, 0), (24, 4, 3, 2)]
+)
+
+
+@given(shape=fw_shapes, seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_distributed_fw_equals_reference(shape, seed):
+    n, b, p, l1 = shape
+    d = random_distance_matrix(n, np.random.default_rng(seed))
+    res = distributed_blocked_fw(d, b=b, p=p, l1=l1)
+    ref = blocked_floyd_warshall(d, b).dist
+    assert max_abs_diff(res.dist, ref) == 0.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    l1a=st.integers(min_value=0, max_value=2),
+    l1b=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=20, deadline=None)
+def test_fw_split_invariance(seed, l1a, l1b):
+    """The device split never changes the computed distances."""
+    d = random_distance_matrix(16, np.random.default_rng(seed))
+    ra = distributed_blocked_fw(d, b=4, p=2, l1=l1a)
+    rb = distributed_blocked_fw(d, b=4, p=2, l1=l1b)
+    assert max_abs_diff(ra.dist, rb.dist) == 0.0
+
+
+# --------------------------------------------------------- timing invariants
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return cray_xd1()
+
+
+@given(
+    bf_frac=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    l=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=15, deadline=None)
+def test_lu_sim_time_bounds(bf_frac, l):
+    """Simulated time is never below the dependence-free work bound and
+    never above the fully-serialised bound."""
+    spec = cray_xd1()
+    b, k, n = 3000, 8, 12000
+    b_f = int(b * bf_frac // k) * k
+    res = simulate_lu(spec, LuSimConfig(n=n, b=b, k=k, b_f=b_f, l=l))
+    total_cpu = sum(res.cpu_busy)
+    total_fpga = sum(res.fpga_busy)
+    # Lower bound: the busiest device class spread over all nodes.
+    assert res.elapsed >= max(total_cpu, total_fpga) / spec.p - 1e-9
+    # Upper bound: everything serialised end to end.
+    assert res.elapsed <= total_cpu + total_fpga + 1e-9
+
+
+@given(cols=st.sampled_from([2, 3, 4]), l1=st.integers(min_value=0, max_value=2))
+@settings(max_examples=15, deadline=None)
+def test_fw_extrapolation_exact_for_uniform_iterations(cols, l1):
+    """1-iteration extrapolation matches full simulation for any split."""
+    spec = cray_xd1()
+    b, k = 256, 8
+    n = b * 6 * cols
+    l2 = cols - l1
+    if l2 < 0 or l1 + l2 < 1:
+        return
+    one = simulate_fw(spec, FwSimConfig(n=n, b=b, k=k, l1=l1, l2=l2, iterations=1))
+    full = simulate_fw(spec, FwSimConfig(n=n, b=b, k=k, l1=l1, l2=l2, iterations=None))
+    assert one.total_elapsed == pytest.approx(full.elapsed, rel=0.02)
+
+
+@given(l1=st.integers(min_value=0, max_value=12))
+@settings(max_examples=13, deadline=None)
+def test_fw_phase_time_at_least_model_makespan(l1):
+    """The DES can never beat the analytic per-phase lower bound
+    max(l1*T_p, l2*T_f)."""
+    spec = cray_xd1()
+    cfg = FwSimConfig(n=18432, b=256, k=8, l1=l1, l2=12 - l1, iterations=1)
+    res = simulate_fw(spec, cfg)
+    t_p = 2 * 256**3 / 190e6
+    t_f = 2 * 256**3 / (8 * 120e6)
+    nb = cfg.nb
+    bound = nb * max(l1 * t_p, (12 - l1) * t_f)
+    assert res.elapsed >= bound - 1e-6
+
+
+# ------------------------------------------------------- ring MM properties
+
+
+@given(
+    np_pair=st.sampled_from([(12, 2), (12, 3), (16, 4), (24, 4), (24, 6)]),
+    mf_frac=st.sampled_from([0.0, 0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_ring_mm_always_correct(np_pair, mf_frac, seed):
+    from repro.apps.mm import distributed_ring_mm
+    import numpy as np
+
+    n, p = np_pair
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    r = n // p
+    m_f = int(r * mf_frac)
+    res = distributed_ring_mm(a, b, p=p, m_f=m_f, k=1)
+    np.testing.assert_allclose(res.product, a @ b, rtol=1e-11, atol=1e-11)
+
+
+@given(mf=st.sampled_from([0, 504, 1000, 2000]))
+@settings(max_examples=8, deadline=None)
+def test_ring_mm_time_bounds(mf):
+    """Ring MM simulated time sits between the per-device work bound and
+    the fully serialised bound, for every split."""
+    from repro.apps.mm import MmSimConfig, simulate_mm
+
+    spec = cray_xd1()
+    res = simulate_mm(spec, MmSimConfig(n=12000, k=8, m_f=mf))
+    total_cpu = sum(res.cpu_busy)
+    total_fpga = sum(res.fpga_busy)
+    assert res.elapsed >= max(total_cpu, total_fpga) / spec.p - 1e-9
+    assert res.elapsed <= total_cpu + total_fpga + 12000 * 12000 * 8 * 6 / 2e9 + 1e-9

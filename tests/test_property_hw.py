@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the cycle-level FPGA models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import FloydWarshallDesign, LinearPEArray, XC2VP50, fwi_reference
+
+
+@given(
+    k=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_tile_always_matches_numpy(k, seed):
+    rng = np.random.default_rng(seed)
+    arr = LinearPEArray(k)
+    a = rng.standard_normal((k, k))
+    b = rng.standard_normal((k, k))
+    res = arr.run_tile(a, b)
+    np.testing.assert_allclose(res.product, a @ b, rtol=1e-11, atol=1e-11)
+    assert res.cycles == k * k
+
+
+@given(
+    k=st.sampled_from([1, 2, 4]),
+    s_mult=st.integers(min_value=1, max_value=4),
+    sp_mult=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_stripe_cycles_equal_closed_form(k, s_mult, sp_mult, seed):
+    """Behavioural cycles == s * s' for every stripe shape -- the identity
+    the entire LU timing model rests on."""
+    rng = np.random.default_rng(seed)
+    arr = LinearPEArray(k)
+    s, sp = s_mult * k, sp_mult * k
+    c = rng.standard_normal((s, k))
+    d = rng.standard_normal((k, sp))
+    res = arr.multiply(c, d)
+    assert res.cycles == s * sp == arr.stripe_cycles(s, sp)
+    np.testing.assert_allclose(res.product, c @ d, rtol=1e-11, atol=1e-11)
+
+
+@given(
+    k=st.sampled_from([1, 2, 4]),
+    b_mult=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_fw_tile_cycles_and_numerics(k, b_mult, seed):
+    """Behavioural cycles == 2 b^3 / k and results match the sequential
+    kernel, for every (k, b) combination."""
+    rng = np.random.default_rng(seed)
+    design = FloydWarshallDesign(k=k, freq_hz=1e6, device=XC2VP50)
+    b = b_mult * k * 2
+    d = rng.uniform(1.0, 10.0, size=(b, b))
+    np.fill_diagonal(d, 0.0)
+    out, cycles = design.run_tile(d)
+    assert cycles == 2 * b**3 // k == design.tile_cycles(b)
+    np.testing.assert_allclose(out, fwi_reference(d, None, None), rtol=1e-12)
+
+
+@given(
+    k=st.sampled_from([2, 4]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_fw_tile_with_disjoint_operands(k, seed):
+    rng = np.random.default_rng(seed)
+    design = FloydWarshallDesign(k=k, freq_hz=1e6, device=XC2VP50)
+    b = 2 * k
+    d = rng.uniform(1.0, 10.0, size=(b, b))
+    a = rng.uniform(1.0, 10.0, size=(b, b))
+    c = rng.uniform(1.0, 10.0, size=(b, b))
+    out, _ = design.run_tile(d, a, c)
+    np.testing.assert_allclose(out, fwi_reference(d, a, c), rtol=1e-12)
+    # Output never exceeds input (min-update property).
+    assert np.all(out <= d + 1e-12)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_flops_per_cycle_invariant(seed):
+    """The MM array sustains exactly 2k flops per cycle on any workload."""
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, 5))
+    arr = LinearPEArray(k)
+    s = k * int(rng.integers(1, 4))
+    sp = k * int(rng.integers(1, 4))
+    res = arr.multiply(rng.standard_normal((s, k)), rng.standard_normal((k, sp)))
+    assert res.flops == pytest.approx(2 * k * res.cycles)

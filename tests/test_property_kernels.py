@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the numerical kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import (
+    block_lu,
+    blocked_floyd_warshall,
+    floyd_warshall_simple,
+    fwi,
+    gemm,
+    getrf_nopiv,
+    lu_residual,
+    max_abs_diff,
+    random_dd_matrix,
+    random_distance_matrix,
+    scipy_shortest_paths,
+    split_lu,
+    trsm_lower_left_unit,
+    trsm_upper_right,
+)
+
+
+def divisor_pairs():
+    """(n, b) with b | n, small enough for fast factorisation."""
+    return st.sampled_from(
+        [(4, 2), (6, 3), (8, 2), (8, 4), (9, 3), (12, 4), (12, 6), (16, 4), (20, 5), (24, 8)]
+    )
+
+
+@given(nb=divisor_pairs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_block_lu_always_reconstructs(nb, seed):
+    n, b = nb
+    a = random_dd_matrix(n, np.random.default_rng(seed))
+    res = block_lu(a, b)
+    assert lu_residual(a, res.lu) < 1e-10
+
+
+@given(nb=divisor_pairs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_block_lu_block_size_invariance(nb, seed):
+    """The packed factors are independent of the block size."""
+    n, b = nb
+    a = random_dd_matrix(n, np.random.default_rng(seed))
+    np.testing.assert_allclose(block_lu(a, b).lu, getrf_nopiv(a), rtol=1e-8, atol=1e-10)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    m=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_trsm_solves(n, m, seed):
+    rng = np.random.default_rng(seed)
+    lower, upper = split_lu(getrf_nopiv(random_dd_matrix(n, rng)))
+    b_right = rng.standard_normal((n, m))
+    x = trsm_lower_left_unit(lower, b_right)
+    np.testing.assert_allclose(lower @ x, b_right, rtol=1e-9, atol=1e-9)
+    b_left = rng.standard_normal((m, n))
+    y = trsm_upper_right(upper, b_left)
+    np.testing.assert_allclose(y @ upper, b_left, rtol=1e-9, atol=1e-8)
+
+
+@given(
+    m=st.integers(min_value=1, max_value=10),
+    n=st.integers(min_value=1, max_value=10),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_gemm_matches_numpy(m, n, k, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    np.testing.assert_allclose(gemm(a, b), a @ b, rtol=1e-12, atol=1e-12)
+
+
+# ------------------------------------------------------------- FW kernels
+
+
+@given(
+    nb=divisor_pairs(),
+    seed=st.integers(min_value=0, max_value=2**31),
+    density=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=40, deadline=None)
+def test_blocked_fw_always_matches_scipy(nb, seed, density):
+    n, b = nb
+    d = random_distance_matrix(n, np.random.default_rng(seed), density=density)
+    res = blocked_floyd_warshall(d, b)
+    assert max_abs_diff(res.dist, scipy_shortest_paths(d)) < 1e-10
+
+
+@given(nb=divisor_pairs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_fw_never_increases_distances(nb, seed):
+    """Closure can only shorten (or keep) every entry."""
+    n, b = nb
+    d = random_distance_matrix(n, np.random.default_rng(seed))
+    closed = blocked_floyd_warshall(d, b).dist
+    assert np.all(closed <= d + 1e-12)
+
+
+@given(nb=divisor_pairs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_fw_triangle_inequality(nb, seed):
+    n, b = nb
+    d = random_distance_matrix(n, np.random.default_rng(seed))
+    closed = blocked_floyd_warshall(d, b).dist
+    for kk in range(n):
+        assert np.all(closed <= closed[:, kk : kk + 1] + closed[kk : kk + 1, :] + 1e-9)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_fwi_generalised_kernel_bounds(n, seed):
+    """FWI output is the elementwise min over all pivots plus the input."""
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(0.0, 10.0, (n, n))
+    a = rng.uniform(0.0, 10.0, (n, n))
+    b = rng.uniform(0.0, 10.0, (n, n))
+    out = fwi(d, a, b)
+    assert np.all(out <= d + 1e-12)
+    # Each candidate path bound holds.
+    for kk in range(n):
+        assert np.all(out <= np.maximum(d, 0) + 1e-9) or True
+        assert np.all(out <= a[:, kk : kk + 1] + b[kk : kk + 1, :] + 1e-9)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_fw_permutation_invariance(seed):
+    """Relabelling vertices commutes with shortest paths."""
+    rng = np.random.default_rng(seed)
+    n = 12
+    d = random_distance_matrix(n, rng)
+    perm = rng.permutation(n)
+    closed = floyd_warshall_simple(d)
+    closed_perm = floyd_warshall_simple(d[np.ix_(perm, perm)])
+    assert max_abs_diff(closed_perm, closed[np.ix_(perm, perm)]) < 1e-10

@@ -1,0 +1,137 @@
+"""Tests for machine scenarios and the series export helpers."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    rows_to_csv,
+    series_from_csv,
+    series_from_json,
+    series_to_csv,
+    series_to_json,
+    sweep,
+)
+from repro.hw import MatrixMultiplyDesign
+from repro.machine import (
+    ReconfigurableSystem,
+    cray_xd1,
+    with_fpga_dram_bandwidth,
+    with_network_bandwidth,
+    with_scaled_processor,
+    with_sram_capacity,
+)
+
+
+# ---------------------------------------------------------------- scenarios
+
+
+def test_slow_dram_caps_effective_bd():
+    spec = with_fpga_dram_bandwidth(cray_xd1(), 0.104e9)
+    system = ReconfigurableSystem(spec)
+    system.nodes[0].configure_fpga(MatrixMultiplyDesign.for_device())
+    assert system.nodes[0].b_d == pytest.approx(0.104e9)
+    assert "B_d path" in spec.name
+
+
+def test_fast_dram_still_capped_by_design_rate():
+    """B_d = min(8 F_f, link): a faster link does not exceed the design's
+    one-word-per-cycle consumption."""
+    spec = with_fpga_dram_bandwidth(cray_xd1(), 100e9)
+    system = ReconfigurableSystem(spec)
+    system.nodes[0].configure_fpga(MatrixMultiplyDesign.for_device())
+    assert system.nodes[0].b_d == pytest.approx(1.04e9)
+
+
+def test_network_scenario():
+    spec = with_network_bandwidth(cray_xd1(), 4e9, links=1)
+    assert spec.network.bandwidth == 4e9
+    assert spec.network.links_per_node == 1
+
+
+def test_scaled_processor_scales_all_kernels():
+    spec = with_scaled_processor(cray_xd1(), 2.0)
+    assert spec.node.processor.sustained_flops("dgemm") == pytest.approx(7.8e9)
+    assert spec.node.processor.sustained_flops("fw") == pytest.approx(380e6)
+    assert spec.node.processor.clock_hz == pytest.approx(4.4e9)
+
+
+def test_sram_scenario():
+    spec = with_sram_capacity(cray_xd1(), 2**20)
+    assert spec.node.sram.capacity_bytes == 2**20
+
+
+def test_scenarios_do_not_mutate_base():
+    base = cray_xd1()
+    with_scaled_processor(base, 3.0)
+    with_network_bandwidth(base, 1e9)
+    assert base.node.processor.sustained_flops("dgemm") == pytest.approx(3.9e9)
+    assert base.network.bandwidth == 2e9
+
+
+def test_scenario_validation():
+    base = cray_xd1()
+    with pytest.raises(ValueError):
+        with_fpga_dram_bandwidth(base, 0)
+    with pytest.raises(ValueError):
+        with_network_bandwidth(base, -1)
+    with pytest.raises(ValueError):
+        with_scaled_processor(base, 0)
+    with pytest.raises(ValueError):
+        with_sram_capacity(base, 0)
+
+
+def test_scenarios_compose():
+    spec = with_sram_capacity(with_scaled_processor(cray_xd1(), 1.5), 16 * 2**20)
+    assert spec.node.processor.sustained_flops("dgemm") == pytest.approx(5.85e9)
+    assert spec.node.sram.capacity_bytes == 16 * 2**20
+
+
+# ------------------------------------------------------------------- export
+
+
+def test_series_csv_roundtrip():
+    s1 = sweep("latency", [0, 1, 2], lambda x: x * 1.5)
+    s2 = sweep("gflops", [0, 1, 2], lambda x: 10 - x)
+    text = series_to_csv([s1, s2])
+    back = series_from_csv(text)
+    assert [s.label for s in back] == ["latency", "gflops"]
+    assert back[0].ys == s1.ys
+    assert back[1].xs == s2.xs
+
+
+def test_series_csv_mismatched_x_rejected():
+    a = sweep("a", [0, 1], lambda x: x)
+    b = sweep("b", [0, 2], lambda x: x)
+    with pytest.raises(ValueError, match="different x"):
+        series_to_csv([a, b])
+    with pytest.raises(ValueError, match="no series"):
+        series_to_csv([])
+
+
+def test_series_csv_bad_input():
+    with pytest.raises(ValueError, match="empty"):
+        series_from_csv("")
+    with pytest.raises(ValueError, match="not a series"):
+        series_from_csv("foo,bar\n1,2\n")
+
+
+def test_series_json_roundtrip():
+    s = sweep("u", [0.0, 0.5, 1.0], lambda x: (x - 0.4) ** 2)
+    back = series_from_json(series_to_json([s]))
+    assert back[0].label == "u"
+    assert back[0].xs == s.xs
+    assert back[0].ys == s.ys
+
+
+def test_rows_to_csv():
+    text = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+    assert text.splitlines()[0] == "a,b"
+    assert text.splitlines()[2] == "3,4"
+    with pytest.raises(ValueError, match="headers"):
+        rows_to_csv(["a"], [[1, 2]])
+
+
+def test_csv_preserves_float_precision():
+    s = Series("x", [0.1], [1.0000000001])
+    back = series_from_csv(series_to_csv([s]))
+    assert back[0].ys[0] == 1.0000000001

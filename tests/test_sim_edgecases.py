@@ -1,0 +1,203 @@
+"""Edge-case coverage for the simulation engine and resource primitives."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    BandwidthChannel,
+    ProcessFailure,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+# ------------------------------------------------------ condition failures
+
+
+def test_all_of_fails_fast_on_failed_member():
+    sim = Simulator()
+    good = sim.timeout(5.0)
+    bad = sim.event()
+    caught = []
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        bad.fail(RuntimeError("dead"))
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([good, bad])
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(failer(sim))
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == [(1.0, "dead")]
+
+
+def test_any_of_fails_on_failed_member():
+    sim = Simulator()
+    slow = sim.timeout(5.0)
+    bad = sim.event()
+    caught = []
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        bad.fail(ValueError("nope"))
+
+    def waiter(sim):
+        try:
+            yield sim.any_of([slow, bad])
+        except ValueError:
+            caught.append(sim.now)
+
+    sim.process(failer(sim))
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError, match="different simulators"):
+        AllOf(sim1, [sim2.timeout(1.0)])
+    with pytest.raises(SimulationError):
+        AnyOf(sim1, [sim2.timeout(1.0)])
+
+
+def test_already_triggered_members_count():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    done = []
+
+    def waiter(sim):
+        result = yield sim.all_of([ev, sim.timeout(1.0)])
+        done.append(sorted(str(v) for v in result.values()))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert len(done) == 1
+
+
+# ------------------------------------------------------------ process failure
+
+
+def test_failed_subprocess_propagates_to_unprepared_parent():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("boom")
+
+    def parent(sim):
+        yield sim.process(child(sim))  # no try/except: parent dies too
+
+    sim.process(parent(sim))
+    with pytest.raises(ProcessFailure):
+        sim.run()
+
+
+def test_chained_failure_handled_at_top():
+    sim = Simulator()
+    outcome = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("boom")
+
+    def middle(sim):
+        yield sim.process(child(sim))
+
+    def top(sim):
+        try:
+            yield sim.process(middle(sim))
+        except KeyError:
+            outcome.append("handled")
+
+    sim.process(top(sim))
+    sim.run()
+    assert outcome == ["handled"]
+
+
+# ------------------------------------------------------------------ resources
+
+
+def test_release_more_than_held():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+
+    def proc(sim):
+        yield res.request(2)
+
+    sim.process(proc(sim))
+    sim.run()
+    with pytest.raises(SimulationError, match="release"):
+        res.release(3)
+
+
+def test_multiple_unit_request_and_release():
+    sim = Simulator()
+    res = Resource(sim, capacity=4)
+    order = []
+
+    def big(sim):
+        yield res.request(3)
+        order.append(("big", sim.now))
+        yield sim.timeout(2.0)
+        res.release(3)
+
+    def small(sim):
+        yield sim.timeout(0.5)
+        yield res.request(2)  # only 1 free until big releases
+        order.append(("small", sim.now))
+        res.release(2)
+
+    sim.process(big(sim))
+    sim.process(small(sim))
+    sim.run()
+    assert order == [("big", 0.0), ("small", 2.0)]
+
+
+def test_store_putters_queue_fifo():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    arrival = []
+
+    def producer(sim, tag):
+        yield store.put(tag)
+        arrival.append((tag, sim.now))
+
+    def consumer(sim):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+            yield store.get()
+
+    for tag in ("a", "b", "c"):
+        sim.process(producer(sim, tag))
+    sim.process(consumer(sim))
+    sim.run()
+    assert [t for t, _ in arrival] == ["a", "b", "c"]
+
+
+def test_channel_zero_byte_transfer_is_latency_only():
+    sim = Simulator()
+    ch = BandwidthChannel(sim, bandwidth=100.0, latency=0.25)
+
+    def proc(sim):
+        yield from ch.transfer(0)
+
+    sim.process(proc(sim))
+    assert sim.run() == pytest.approx(0.25)
+    assert ch.transfer_count == 1
+
+
+def test_channel_utilisation_before_any_transfer():
+    sim = Simulator()
+    ch = BandwidthChannel(sim, bandwidth=100.0)
+    assert ch.utilisation() == 0.0
+    assert ch.utilisation(horizon=10.0) == 0.0

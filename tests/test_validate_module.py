@@ -1,0 +1,48 @@
+"""Tests for the functional-validation runner (repro.validate)."""
+
+import pytest
+
+from repro.validate import ValidationRow, run_validation
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_validation(seed=2007)
+
+
+def test_all_validations_pass(rows):
+    failing = [r for r in rows if not r.ok]
+    assert not failing, [f"{r.app} {r.config}: {r.error}" for r in failing]
+
+
+def test_covers_all_three_applications(rows):
+    assert {r.app for r in rows} == {"LU", "FW", "MM"}
+
+
+def test_covers_both_baselines_and_hybrid(rows):
+    lu_configs = [r.config for r in rows if r.app == "LU"]
+    assert any("b_f=0" in c for c in lu_configs)  # Processor-only
+    assert any("b_f=6" in c for c in lu_configs)  # FPGA-only (b = 6 case)
+    fw_configs = [r.config for r in rows if r.app == "FW"]
+    assert any("l1=0" in c for c in fw_configs)
+
+
+def test_cycle_level_hw_paths_exercised(rows):
+    assert sum(1 for r in rows if "hw" in r.config) >= 4
+
+
+def test_guard_enforced_everywhere(rows):
+    assert all(r.guard_clean for r in rows)
+
+
+def test_row_ok_semantics():
+    good = ValidationRow("LU", "c", "m", 1e-12, 1e-10, 1, True)
+    too_big = ValidationRow("LU", "c", "m", 1e-8, 1e-10, 1, True)
+    dirty = ValidationRow("LU", "c", "m", 1e-12, 1e-10, 1, False)
+    assert good.ok and not too_big.ok and not dirty.ok
+
+
+def test_deterministic_given_seed():
+    a = run_validation(seed=1)
+    b = run_validation(seed=1)
+    assert [r.error for r in a] == [r.error for r in b]
