@@ -1,0 +1,179 @@
+"""Performance-regression tracker: DES event throughput + sweep throughput.
+
+Times the two hot paths this repo optimises -- the discrete-event
+simulator core and the experiment sweep engine -- and writes the numbers
+to ``BENCH_perf.json`` at the repo root so successive runs can be
+compared (see docs/performance.md for reference numbers and what a
+regression looks like).
+
+Run:  python benchmarks/bench_perf_regression.py [--jobs N] [--rounds R] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.core import Simulator  # noqa: E402
+
+
+# -----------------------------------------------------------------------
+# DES micro-benchmarks: events/second on three scheduling patterns
+# -----------------------------------------------------------------------
+
+
+def bench_timeouts(nproc: int = 100, nsteps: int = 2000) -> float:
+    """Pure timeout churn: the pooled-Timeout / calendar-queue fast path."""
+    sim = Simulator()
+    timeout = sim.timeout
+
+    def worker():
+        for _ in range(nsteps):
+            yield timeout(1.0)
+
+    for _ in range(nproc):
+        sim.process(worker())
+    nevents = nproc * nsteps
+    t0 = time.perf_counter()
+    sim.run()
+    return nevents / (time.perf_counter() - t0)
+
+
+def bench_mixed(nproc: int = 100, nsteps: int = 1000) -> float:
+    """Alternating timeouts and already-succeeded events (zero-delay queue)."""
+    sim = Simulator()
+    timeout = sim.timeout
+    event = sim.event
+
+    def worker():
+        for _ in range(nsteps):
+            yield timeout(1.0)
+            ev = event()
+            ev.succeed(42)
+            yield ev
+
+    for _ in range(nproc):
+        sim.process(worker())
+    nevents = nproc * nsteps * 2
+    t0 = time.perf_counter()
+    sim.run()
+    return nevents / (time.perf_counter() - t0)
+
+
+def bench_fanin(nproc: int = 50, nsteps: int = 500, width: int = 4) -> float:
+    """all_of() fan-in over timeout groups (the condition fast path)."""
+    sim = Simulator()
+    timeout = sim.timeout
+    all_of = sim.all_of
+
+    def worker():
+        for _ in range(nsteps):
+            yield all_of([timeout(1.0) for _ in range(width)])
+
+    for _ in range(nproc):
+        sim.process(worker())
+    nevents = nproc * nsteps * (width + 1)
+    t0 = time.perf_counter()
+    sim.run()
+    return nevents / (time.perf_counter() - t0)
+
+
+DES_BENCHES = {"timeouts": bench_timeouts, "mixed": bench_mixed, "fanin": bench_fanin}
+
+
+# -----------------------------------------------------------------------
+# Sweep throughput: experiment points/second through the sweep engine
+# -----------------------------------------------------------------------
+
+#: Sweep-heavy experiments (figure curves, not one-shot comparisons).
+SWEEP_EXPERIMENTS = ["fig5", "fig6", "fig7", "fig8"]
+
+
+def bench_sweeps(jobs: int | str | None) -> dict[str, float]:
+    """Run the sweep-heavy experiments; returns timing + throughput."""
+    from repro import experiments as E
+
+    before = E.SIM_CALLS
+    with E.configured(jobs=jobs, cache=False) as (executor, _):
+        t0 = time.perf_counter()
+        results = [E.ALL_EXPERIMENTS[name]() for name in SWEEP_EXPERIMENTS]
+        elapsed = time.perf_counter() - t0
+        mode = executor.last_mode
+    bad = [r.id for r in results if not r.ok]
+    if bad:
+        raise SystemExit(f"experiment checks failed during benchmark: {bad}")
+    points = E.SIM_CALLS - before if mode == "serial" else _sweep_point_count()
+    return {
+        "experiments": SWEEP_EXPERIMENTS,
+        "points": points,
+        "elapsed_s": elapsed,
+        "points_per_s": points / elapsed,
+        "mode": mode,
+    }
+
+
+def _sweep_point_count() -> int:
+    """Simulation-point count of SWEEP_EXPERIMENTS (fixed by the harness)."""
+    return 16 + 6 + 13 + 5  # fig5 b_f grid, fig6 l grid, fig7 l1 grid, fig8 n/b grid
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes for the sweep benchmark (int or 'auto'; default serial)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="DES benchmark rounds (best-of); default 3"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller DES workloads (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 10 if args.quick else 1
+    des: dict[str, float] = {}
+    for name, fn in DES_BENCHES.items():
+        best = 0.0
+        for _ in range(max(1, args.rounds)):
+            kwargs = {"nproc": 100 // scale} if args.quick else {}
+            best = max(best, fn(**kwargs))
+        des[name] = best
+        print(f"des/{name:10s} {best:>12,.0f} events/s")
+
+    sweeps = bench_sweeps(args.jobs)
+    print(
+        f"sweeps ({sweeps['mode']}) {sweeps['points']} points in "
+        f"{sweeps['elapsed_s']:.2f}s = {sweeps['points_per_s']:.1f} points/s"
+    )
+
+    report = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "des_events_per_s": des,
+        "sweep": sweeps,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

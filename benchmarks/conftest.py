@@ -10,13 +10,24 @@ source material.
 
 import pytest
 
+from repro.experiments import configured
+
 
 @pytest.fixture
 def run_experiment(benchmark):
-    """Time an experiment once and enforce its reproduction checks."""
+    """Time an experiment once and enforce its reproduction checks.
+
+    Honours ``REPRO_PARALLEL`` (worker count) and ``REPRO_CACHE`` (result
+    cache directory) so the benchmark suite can exercise the parallel and
+    cached sweep paths without code changes.
+    """
 
     def _run(fn):
-        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        def timed():
+            with configured():
+                return fn()
+
+        result = benchmark.pedantic(timed, rounds=1, iterations=1)
         print()
         print(result.text)
         failed = [name for name, ok in result.checks.items() if not ok]

@@ -70,10 +70,20 @@ class Series:
 
 
 def sweep(
-    label: str, values: Sequence[float], fn: Callable[[float], float]
+    label: str,
+    values: Sequence[float],
+    fn: Callable[[float], float],
+    executor=None,
 ) -> Series:
-    """Evaluate ``fn`` over ``values``; returns the resulting curve."""
+    """Evaluate ``fn`` over ``values``; returns the resulting curve.
+
+    ``executor`` (a :class:`repro.parallel.SweepExecutor`) fans the
+    evaluation out across worker processes when it pays; results come
+    back in ``values`` order either way, so the curve is identical
+    regardless of worker count.
+    """
     series = Series(label)
-    for v in values:
-        series.append(v, fn(v))
+    ys = executor.map(fn, values) if executor is not None else [fn(v) for v in values]
+    for v, y in zip(values, ys):
+        series.append(v, y)
     return series

@@ -156,6 +156,18 @@ def main(argv: list[str] | None = None) -> int:
 
     exp = sub.add_parser("experiments", help="run the full table/figure harness")
     exp.add_argument("--only", help="comma-separated experiment ids", default=None)
+    exp.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes for sweep fan-out (int or 'auto'; "
+        "default: $REPRO_PARALLEL or serial)",
+    )
+    exp.add_argument(
+        "--cache",
+        default=None,
+        help="result-cache directory ('off' disables; "
+        "default: $REPRO_CACHE or no cache)",
+    )
     exp.set_defaults(fn=_cmd_experiments)
 
     args = parser.parse_args(argv)
@@ -170,7 +182,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments import ALL_EXPERIMENTS
+    from .experiments import ALL_EXPERIMENTS, configured
+    from .parallel import resolve_jobs
 
     if args.only:
         wanted = [name.strip() for name in args.only.split(",")]
@@ -181,15 +194,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         selected = {name: ALL_EXPERIMENTS[name] for name in wanted}
     else:
         selected = ALL_EXPERIMENTS
+    cache = args.cache
+    if cache is not None and cache.strip().lower() in ("", "off", "0", "none", "false"):
+        cache = False
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     failed = []
-    for name, fn in selected.items():
-        result = fn()
-        print("=" * 72)
-        print(result.summary())
-        print(result.text)
-        print()
-        if not result.ok:
-            failed.append(name)
+    with configured(jobs=args.jobs, cache=cache):
+        for name, fn in selected.items():
+            result = fn()
+            print("=" * 72)
+            print(result.summary())
+            print(result.text)
+            print()
+            if not result.ok:
+                failed.append(name)
     if failed:
         print(f"FAILED checks in: {failed}")
         return 1

@@ -16,16 +16,19 @@ stdout (the source of EXPERIMENTS.md).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable, Optional
 
-from .analysis import Series, bar_chart, line_chart, percent, sweep, table
+from .analysis import Series, bar_chart, line_chart, percent, table
 from .apps.fw import FwDesign, FwSimConfig, simulate_fw
 from .apps.lu import LuDesign, LuSimConfig, simulate_block_mm, simulate_lu
 from .core import DesignModel, balance_flops, lu_stripe_partition
 from .hw import FloydWarshallDesign, MatrixMultiplyDesign
 from .kernels.flops import getrf_flops, trsm_flops
 from .machine import ALL_PRESETS, cray_xd1
+from .parallel import ResultCache, SweepExecutor, cache_from_env
 
 __all__ = [
     "ALL_EXPERIMENTS",
@@ -34,6 +37,7 @@ __all__ = [
     "ablation_overlap",
     "ablation_partition",
     "ablation_presets",
+    "configured",
     "fig5_bf_sweep",
     "fig6_l_sweep",
     "fig7_l1_sweep",
@@ -64,6 +68,149 @@ class ExperimentResult:
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         return f"[{status}] {self.id}: {self.title}"
+
+
+# ------------------------------------------------ sweep execution context
+#
+# Every simulation an experiment runs is expressed as a JSON-able *task*
+# and evaluated through ``_eval_sim_points``, which consults the active
+# result cache (warm re-runs replay stored values instead of
+# re-simulating) and fans cache misses out across the active executor.
+# Each simulation runs in its own Simulator, so results are identical
+# regardless of worker count or cache state.
+
+_EXECUTOR: Optional[SweepExecutor] = None
+_CACHE: Optional[ResultCache] = None
+
+#: Number of simulation points actually executed (i.e. cache misses)
+#: since import.  Serial-mode only bookkeeping -- worker processes count
+#: in their own interpreter -- used by tests to verify that warm-cache
+#: runs skip re-simulation.
+SIM_CALLS = 0
+
+
+def _coerce_cache(cache: Any) -> Optional[ResultCache]:
+    if cache is None:
+        return cache_from_env()
+    if cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    return cache
+
+
+@contextmanager
+def configured(jobs: Any = None, cache: Any = None):
+    """Run experiments with a given executor/cache configuration.
+
+    ``jobs``: worker count, ``"auto"``, or None to consult the
+    ``REPRO_PARALLEL`` environment variable.  ``cache``: a directory
+    path, a :class:`ResultCache`, True (default ``.repro_cache/``),
+    False (force off), or None to consult ``REPRO_CACHE``.
+    """
+    global _EXECUTOR, _CACHE
+    prev = (_EXECUTOR, _CACHE)
+    _EXECUTOR = SweepExecutor(jobs)
+    _CACHE = _coerce_cache(cache)
+    try:
+        yield (_EXECUTOR, _CACHE)
+    finally:
+        _EXECUTOR, _CACHE = prev
+
+
+def _spec_for(machine: str):
+    """Machine specs by task key (presets plus the ablation variants)."""
+    if machine == "xd1-slow-dram":
+        return _slow_dram_xd1()
+    return ALL_PRESETS[machine]()
+
+
+def _point_sim(task: dict) -> Any:
+    """Evaluate one simulation task; returns a JSON-able value.
+
+    Must stay module-level (and all task contents picklable) so the
+    process-pool executor can ship tasks to workers.
+    """
+    global SIM_CALLS
+    SIM_CALLS += 1
+    kind = task["kind"]
+    if kind == "block_mm":
+        spec = _spec_for(task["machine"])
+        return simulate_block_mm(spec, task["b"], task["b_f"], task["k"])
+    if kind == "lu":
+        res = simulate_lu(_spec_for(task["machine"]), task["cfg"])
+        return {"elapsed": res.elapsed, "gflops": res.gflops}
+    if kind == "fw":
+        res = simulate_fw(_spec_for(task["machine"]), task["cfg"])
+        return {"elapsed": res.elapsed, "gflops": res.gflops}
+    if kind == "lu_compare":
+        cmp = LuDesign(cray_xd1(), n=task["n"], b=task["b"]).compare()
+    elif kind == "fw_compare":
+        cmp = FwDesign(cray_xd1(), n=task["n"], b=task["b"]).compare()
+    elif kind == "mm_compare":
+        from .apps.mm import MmDesign
+
+        cmp = MmDesign(cray_xd1(), n=task["n"]).compare()
+    elif kind == "fw_weak":
+        from .analysis import fw_weak_scaling
+
+        (pt,) = fw_weak_scaling(ps=(task["p"],), cols_per_node=task["cols_per_node"])
+        return {"p": pt.p, "gflops": pt.gflops, "predicted": pt.predicted,
+                "efficiency_of_prediction": pt.efficiency_of_prediction}
+    elif kind == "lu_strong":
+        from .analysis import lu_strong_scaling
+
+        (pt,) = lu_strong_scaling(ps=(task["p"],), n=task["n"], b=task["b"])
+        return {"p": pt.p, "gflops": pt.gflops, "predicted": pt.predicted,
+                "efficiency_of_prediction": pt.efficiency_of_prediction}
+    else:
+        raise ValueError(f"unknown simulation task kind {kind!r}")
+    # The three *_compare kinds fall through to here: extract every float
+    # the experiments print or check, so cached values reproduce the
+    # rendered text bit-for-bit.
+    return {
+        "hybrid": cmp.hybrid.gflops,
+        "cpu_only": cmp.cpu_only.gflops,
+        "fpga_only": cmp.fpga_only.gflops,
+        "predicted": cmp.predicted_gflops,
+        "speedup_vs_cpu": cmp.speedup_vs_cpu,
+        "speedup_vs_fpga": cmp.speedup_vs_fpga,
+        "fraction_of_sum": cmp.fraction_of_sum,
+        "fraction_of_predicted": cmp.fraction_of_predicted,
+    }
+
+
+def _eval_sim_points(tasks: list[dict]) -> list[Any]:
+    """Evaluate tasks through the active cache and executor, in order."""
+    cache = _CACHE
+    executor = _EXECUTOR
+    if cache is None:
+        if executor is not None:
+            return executor.map(_point_sim, tasks)
+        return [_point_sim(t) for t in tasks]
+    values: list[Any] = [None] * len(tasks)
+    misses: list[int] = []
+    for i, task in enumerate(tasks):
+        entry = cache.get(task)
+        if entry is None:
+            misses.append(i)
+        else:
+            values[i] = entry["value"]
+    if misses:
+        todo = [tasks[i] for i in misses]
+        got = executor.map(_point_sim, todo) if executor is not None else [
+            _point_sim(t) for t in todo
+        ]
+        for i, value in zip(misses, got):
+            cache.put(tasks[i], value)
+            values[i] = value
+    return values
+
+
+def _eval_sim_point(task: dict) -> Any:
+    return _eval_sim_points([task])[0]
 
 
 # ---------------------------------------------------------------- Table 1
@@ -101,7 +248,12 @@ def fig5_bf_sweep(step: int = 200) -> ExperimentResult:
     bfs = [bf for bf in range(0, b + 1, step) if bf % k == 0]
     if b not in bfs:
         bfs.append(b)
-    series = sweep("block MM latency", bfs, lambda bf: simulate_block_mm(spec, b, int(bf), k))
+    ys = _eval_sim_points(
+        [{"kind": "block_mm", "machine": "xd1", "b": b, "b_f": int(bf), "k": k} for bf in bfs]
+    )
+    series = Series("block MM latency")
+    for bf, y in zip(bfs, ys):
+        series.append(bf, y)
     params = spec.parameters("dgemm", MatrixMultiplyDesign.for_device())
     solved = lu_stripe_partition(b, k, params).b_f
     text = line_chart(
@@ -126,12 +278,20 @@ def fig5_bf_sweep(step: int = 200) -> ExperimentResult:
 
 def fig6_l_sweep() -> ExperimentResult:
     """Figure 6: latency of the 0th LU iteration vs l (n=30000, p=6)."""
-    spec = cray_xd1()
     ls = [0, 1, 2, 3, 4, 5]
+    results = _eval_sim_points(
+        [
+            {
+                "kind": "lu",
+                "machine": "xd1",
+                "cfg": LuSimConfig(n=30000, b=3000, k=8, b_f=1080, l=l, iterations=1),
+            }
+            for l in ls
+        ]
+    )
     series = Series("0th iteration latency")
-    for l in ls:
-        cfg = LuSimConfig(n=30000, b=3000, k=8, b_f=1080, l=l, iterations=1)
-        series.append(l, simulate_lu(spec, cfg).elapsed)
+    for l, res in zip(ls, results):
+        series.append(l, res["elapsed"])
     text = line_chart(
         [series],
         "Figure 6: latency of the 0th LU iteration vs l (n = 30000, p = 6)",
@@ -154,11 +314,20 @@ def fig6_l_sweep() -> ExperimentResult:
 
 def fig7_l1_sweep() -> ExperimentResult:
     """Figure 7: latency of one FW iteration vs l1 (b=256, n=18432, p=6)."""
-    spec = cray_xd1()
+    l1s = list(range(0, 13))
+    results = _eval_sim_points(
+        [
+            {
+                "kind": "fw",
+                "machine": "xd1",
+                "cfg": FwSimConfig(n=18432, b=256, k=8, l1=l1, l2=12 - l1, iterations=1),
+            }
+            for l1 in l1s
+        ]
+    )
     series = Series("iteration latency")
-    for l1 in range(0, 13):
-        cfg = FwSimConfig(n=18432, b=256, k=8, l1=l1, l2=12 - l1, iterations=1)
-        series.append(l1, simulate_fw(spec, cfg).elapsed)
+    for l1, res in zip(l1s, results):
+        series.append(l1, res["elapsed"])
     text = line_chart(
         [series],
         "Figure 7: latency of one FW iteration vs l1 (n = 18432, p = 6)",
@@ -184,11 +353,20 @@ def fig7_l1_sweep() -> ExperimentResult:
 
 def fig8_lu_scaling() -> ExperimentResult:
     """Figure 8: LU GFLOPS vs n/b (b = 3000, growing matrix)."""
-    spec = cray_xd1()
+    nbs = (2, 4, 6, 8, 10)
+    results = _eval_sim_points(
+        [
+            {
+                "kind": "lu",
+                "machine": "xd1",
+                "cfg": LuSimConfig(n=3000 * nb, b=3000, k=8, b_f=1080, l=3),
+            }
+            for nb in nbs
+        ]
+    )
     series = Series("hybrid LU")
-    for nb in (2, 4, 6, 8, 10):
-        cfg = LuSimConfig(n=3000 * nb, b=3000, k=8, b_f=1080, l=3)
-        series.append(nb, simulate_lu(spec, cfg).gflops)
+    for nb, res in zip(nbs, results):
+        series.append(nb, res["gflops"])
     text = line_chart(
         [series],
         "Figure 8: GFLOPS of LU decomposition vs n/b (b = 3000)",
@@ -211,37 +389,36 @@ def fig8_lu_scaling() -> ExperimentResult:
 
 def fig9_lu() -> ExperimentResult:
     """Figure 9 (left): LU hybrid vs baselines, plus model prediction."""
-    design = LuDesign(cray_xd1(), n=30000, b=3000)
-    cmp = design.compare()
+    cmp = _eval_sim_point({"kind": "lu_compare", "n": 30000, "b": 3000})
     text = bar_chart(
         ["Hybrid", "Processor-only", "FPGA-only", "Model prediction"],
-        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        [cmp["hybrid"], cmp["cpu_only"], cmp["fpga_only"], cmp["predicted"]],
         "Figure 9 (LU): n = 30000, b = 3000, p = 6",
         unit=" GFLOPS",
     )
     text += (
-        f"\nspeedup vs CPU-only {cmp.speedup_vs_cpu:.2f}x (paper 1.3x), "
-        f"vs FPGA-only {cmp.speedup_vs_fpga:.2f}x (paper 2x); "
-        f"{percent(cmp.fraction_of_sum)} of baseline sum (paper ~80%); "
-        f"{percent(cmp.fraction_of_predicted)} of prediction (paper ~86%)."
+        f"\nspeedup vs CPU-only {cmp['speedup_vs_cpu']:.2f}x (paper 1.3x), "
+        f"vs FPGA-only {cmp['speedup_vs_fpga']:.2f}x (paper 2x); "
+        f"{percent(cmp['fraction_of_sum'])} of baseline sum (paper ~80%); "
+        f"{percent(cmp['fraction_of_predicted'])} of prediction (paper ~86%)."
     )
     checks = {
-        "hybrid_near_20_gflops": abs(cmp.hybrid.gflops - 20.0) / 20.0 < 0.15,
-        "hybrid_beats_cpu_only": cmp.speedup_vs_cpu > 1.05,
-        "hybrid_beats_fpga_only": cmp.speedup_vs_fpga > 1.5,
-        "fpga_only_near_10": abs(cmp.fpga_only.gflops - 10.0) / 10.0 < 0.2,
-        "fraction_of_sum_in_band": 0.6 < cmp.fraction_of_sum < 0.95,
-        "below_prediction": cmp.fraction_of_predicted < 1.0,
+        "hybrid_near_20_gflops": abs(cmp["hybrid"] - 20.0) / 20.0 < 0.15,
+        "hybrid_beats_cpu_only": cmp["speedup_vs_cpu"] > 1.05,
+        "hybrid_beats_fpga_only": cmp["speedup_vs_fpga"] > 1.5,
+        "fpga_only_near_10": abs(cmp["fpga_only"] - 10.0) / 10.0 < 0.2,
+        "fraction_of_sum_in_band": 0.6 < cmp["fraction_of_sum"] < 0.95,
+        "below_prediction": cmp["fraction_of_predicted"] < 1.0,
     }
     return ExperimentResult(
         "fig9-lu",
         "LU comparison with baselines",
         text,
         {
-            "hybrid": cmp.hybrid.gflops,
-            "cpu_only": cmp.cpu_only.gflops,
-            "fpga_only": cmp.fpga_only.gflops,
-            "predicted": cmp.predicted_gflops,
+            "hybrid": cmp["hybrid"],
+            "cpu_only": cmp["cpu_only"],
+            "fpga_only": cmp["fpga_only"],
+            "predicted": cmp["predicted"],
         },
         checks,
     )
@@ -249,38 +426,37 @@ def fig9_lu() -> ExperimentResult:
 
 def fig9_fw() -> ExperimentResult:
     """Figure 9 (right): FW hybrid vs baselines, plus model prediction."""
-    design = FwDesign(cray_xd1(), n=92160, b=256)
-    cmp = design.compare()
+    cmp = _eval_sim_point({"kind": "fw_compare", "n": 92160, "b": 256})
     text = bar_chart(
         ["Hybrid", "Processor-only", "FPGA-only", "Model prediction"],
-        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        [cmp["hybrid"], cmp["cpu_only"], cmp["fpga_only"], cmp["predicted"]],
         "Figure 9 (FW): n = 92160, b = 256, p = 6",
         unit=" GFLOPS",
     )
     text += (
-        f"\nspeedup vs CPU-only {cmp.speedup_vs_cpu:.2f}x (paper 5.8x), "
-        f"vs FPGA-only {cmp.speedup_vs_fpga:.2f}x (paper 1.15x); "
-        f"{percent(cmp.fraction_of_sum)} of baseline sum (paper >95%); "
-        f"{percent(cmp.fraction_of_predicted)} of prediction (paper ~96%)."
+        f"\nspeedup vs CPU-only {cmp['speedup_vs_cpu']:.2f}x (paper 5.8x), "
+        f"vs FPGA-only {cmp['speedup_vs_fpga']:.2f}x (paper 1.15x); "
+        f"{percent(cmp['fraction_of_sum'])} of baseline sum (paper >95%); "
+        f"{percent(cmp['fraction_of_predicted'])} of prediction (paper ~96%)."
     )
     checks = {
-        "hybrid_near_6_6_gflops": abs(cmp.hybrid.gflops - 6.6) / 6.6 < 0.05,
-        "cpu_only_near_1_14": abs(cmp.cpu_only.gflops - 1.14) / 1.14 < 0.05,
-        "fpga_only_near_5_75": abs(cmp.fpga_only.gflops - 5.75) / 5.75 < 0.05,
-        "speedup_vs_cpu_near_5_8": abs(cmp.speedup_vs_cpu - 5.8) / 5.8 < 0.1,
-        "speedup_vs_fpga_near_1_15": abs(cmp.speedup_vs_fpga - 1.15) / 1.15 < 0.05,
-        "over_95_percent_of_sum": cmp.fraction_of_sum > 0.95,
-        "near_96_percent_of_prediction": abs(cmp.fraction_of_predicted - 0.96) < 0.03,
+        "hybrid_near_6_6_gflops": abs(cmp["hybrid"] - 6.6) / 6.6 < 0.05,
+        "cpu_only_near_1_14": abs(cmp["cpu_only"] - 1.14) / 1.14 < 0.05,
+        "fpga_only_near_5_75": abs(cmp["fpga_only"] - 5.75) / 5.75 < 0.05,
+        "speedup_vs_cpu_near_5_8": abs(cmp["speedup_vs_cpu"] - 5.8) / 5.8 < 0.1,
+        "speedup_vs_fpga_near_1_15": abs(cmp["speedup_vs_fpga"] - 1.15) / 1.15 < 0.05,
+        "over_95_percent_of_sum": cmp["fraction_of_sum"] > 0.95,
+        "near_96_percent_of_prediction": abs(cmp["fraction_of_predicted"] - 0.96) < 0.03,
     }
     return ExperimentResult(
         "fig9-fw",
         "FW comparison with baselines",
         text,
         {
-            "hybrid": cmp.hybrid.gflops,
-            "cpu_only": cmp.cpu_only.gflops,
-            "fpga_only": cmp.fpga_only.gflops,
-            "predicted": cmp.predicted_gflops,
+            "hybrid": cmp["hybrid"],
+            "cpu_only": cmp["cpu_only"],
+            "fpga_only": cmp["fpga_only"],
+            "predicted": cmp["predicted"],
         },
         checks,
     )
@@ -298,39 +474,37 @@ def ablation_overlap() -> ExperimentResult:
     for the staging, so the penalty nearly vanishes -- which is exactly
     why the equations put T_comm/T_mem on the CPU side.
     """
-    spec = cray_xd1()
-    rows = []
-    lu_on = simulate_lu(spec, LuSimConfig(n=18000, b=3000, k=8, b_f=3000, l=3))
-    lu_off = simulate_lu(spec, LuSimConfig(n=18000, b=3000, k=8, b_f=3000, l=3, overlap=False))
-    rows.append(["LU n=18000 (FPGA-only)", lu_on.elapsed, lu_off.elapsed,
-                 f"{lu_off.elapsed / lu_on.elapsed:.3f}x"])
-    lu_bal_on = simulate_lu(spec, LuSimConfig(n=18000, b=3000, k=8, b_f=1080, l=3))
-    lu_bal_off = simulate_lu(
-        spec, LuSimConfig(n=18000, b=3000, k=8, b_f=1080, l=3, overlap=False)
-    )
-    rows.append(["LU n=18000 (balanced)", lu_bal_on.elapsed, lu_bal_off.elapsed,
-                 f"{lu_bal_off.elapsed / lu_bal_on.elapsed:.3f}x"])
-    fw_on = simulate_fw(spec, FwSimConfig(n=18432, b=256, k=8, l1=0, l2=12, iterations=1))
-    fw_off = simulate_fw(
-        spec, FwSimConfig(n=18432, b=256, k=8, l1=0, l2=12, iterations=1, overlap=False)
-    )
-    rows.append(["FW iter (FPGA-only)", fw_on.elapsed, fw_off.elapsed,
-                 f"{fw_off.elapsed / fw_on.elapsed:.3f}x"])
-    fw_bal_on = simulate_fw(spec, FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1))
-    fw_bal_off = simulate_fw(
-        spec, FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1, overlap=False)
-    )
-    rows.append(["FW iter (balanced)", fw_bal_on.elapsed, fw_bal_off.elapsed,
-                 f"{fw_bal_off.elapsed / fw_bal_on.elapsed:.3f}x"])
+    tasks = []
+    for overlap in (True, False):
+        tasks.append({"kind": "lu", "machine": "xd1",
+                      "cfg": LuSimConfig(n=18000, b=3000, k=8, b_f=3000, l=3, overlap=overlap)})
+    for overlap in (True, False):
+        tasks.append({"kind": "lu", "machine": "xd1",
+                      "cfg": LuSimConfig(n=18000, b=3000, k=8, b_f=1080, l=3, overlap=overlap)})
+    for overlap in (True, False):
+        tasks.append({"kind": "fw", "machine": "xd1",
+                      "cfg": FwSimConfig(n=18432, b=256, k=8, l1=0, l2=12, iterations=1,
+                                         overlap=overlap)})
+    for overlap in (True, False):
+        tasks.append({"kind": "fw", "machine": "xd1",
+                      "cfg": FwSimConfig(n=18432, b=256, k=8, l1=2, l2=10, iterations=1,
+                                         overlap=overlap)})
     # Where staging is expensive (slow FPGA-DRAM path) the overlap is the
     # difference between usable and unusable FPGA acceleration.
-    slow = _slow_dram_xd1()
-    slow_on = simulate_lu(slow, LuSimConfig(n=18000, b=3000, k=8, b_f=3000, l=3))
-    slow_off = simulate_lu(
-        slow, LuSimConfig(n=18000, b=3000, k=8, b_f=3000, l=3, overlap=False)
+    for overlap in (True, False):
+        tasks.append({"kind": "lu", "machine": "xd1-slow-dram",
+                      "cfg": LuSimConfig(n=18000, b=3000, k=8, b_f=3000, l=3, overlap=overlap)})
+    (lu_on, lu_off, lu_bal_on, lu_bal_off, fw_on, fw_off,
+     fw_bal_on, fw_bal_off, slow_on, slow_off) = (
+        r["elapsed"] for r in _eval_sim_points(tasks)
     )
-    rows.append(["LU FPGA-only, slow B_d", slow_on.elapsed, slow_off.elapsed,
-                 f"{slow_off.elapsed / slow_on.elapsed:.3f}x"])
+    rows = [
+        ["LU n=18000 (FPGA-only)", lu_on, lu_off, f"{lu_off / lu_on:.3f}x"],
+        ["LU n=18000 (balanced)", lu_bal_on, lu_bal_off, f"{lu_bal_off / lu_bal_on:.3f}x"],
+        ["FW iter (FPGA-only)", fw_on, fw_off, f"{fw_off / fw_on:.3f}x"],
+        ["FW iter (balanced)", fw_bal_on, fw_bal_off, f"{fw_bal_off / fw_bal_on:.3f}x"],
+        ["LU FPGA-only, slow B_d", slow_on, slow_off, f"{slow_off / slow_on:.3f}x"],
+    ]
     text = table(
         ["workload", "overlapped (s)", "no overlap (s)", "slowdown"],
         rows,
@@ -341,10 +515,10 @@ def ablation_overlap() -> ExperimentResult:
         "balanced splits the CPU-side serial path hides it (by design)."
     )
     checks = {
-        "lu_fpga_only_overlap_helps": lu_off.elapsed > lu_on.elapsed * 1.003,
-        "fw_fpga_only_overlap_helps": fw_off.elapsed > fw_on.elapsed * 1.01,
-        "balanced_split_hides_staging": lu_bal_off.elapsed < lu_bal_on.elapsed * 1.02,
-        "slow_bd_makes_overlap_critical": slow_off.elapsed > slow_on.elapsed * 1.05,
+        "lu_fpga_only_overlap_helps": lu_off > lu_on * 1.003,
+        "fw_fpga_only_overlap_helps": fw_off > fw_on * 1.01,
+        "balanced_split_hides_staging": lu_bal_off < lu_bal_on * 1.02,
+        "slow_bd_makes_overlap_critical": slow_off > slow_on * 1.05,
     }
     return ExperimentResult("ablation-overlap", "overlap on/off", text, {"rows": rows}, checks)
 
@@ -361,17 +535,22 @@ def ablation_partition() -> ExperimentResult:
     b, k = 3000, 8
     rows = []
     results = {}
-    for label, spec in (
-        ("Cray XD1", cray_xd1()),
-        ("XD1, 10x slower FPGA-DRAM path", _slow_dram_xd1()),
+    for label, machine in (
+        ("Cray XD1", "xd1"),
+        ("XD1, 10x slower FPGA-DRAM path", "xd1-slow-dram"),
     ):
+        spec = _spec_for(machine)
         design = MatrixMultiplyDesign.for_device(spec.node.fpga.device)
         params = spec.parameters("dgemm", design)
         naive = balance_flops(1.0, params)
         naive_bf = int(round(b * naive.n_f / k)) * k
         eq4_bf = lu_stripe_partition(b, k, params).b_f
-        lat_naive = simulate_block_mm(spec, b, naive_bf, k)
-        lat_eq4 = simulate_block_mm(spec, b, eq4_bf, k)
+        lat_naive, lat_eq4 = _eval_sim_points(
+            [
+                {"kind": "block_mm", "machine": machine, "b": b, "b_f": naive_bf, "k": k},
+                {"kind": "block_mm", "machine": machine, "b": b, "b_f": eq4_bf, "k": k},
+            ]
+        )
         rows.append([label, naive_bf, lat_naive, eq4_bf, lat_eq4,
                      percent((lat_naive - lat_eq4) / lat_naive)])
         results[label] = (lat_naive, lat_eq4)
@@ -492,34 +671,34 @@ def ext_ring_mm() -> ExperimentResult:
     """
     from .apps.mm import MmDesign
 
-    design = MmDesign(cray_xd1(), n=30000)
-    cmp = design.compare()
+    design = MmDesign(cray_xd1(), n=30000)  # plan only; the sims are cached tasks
+    cmp = _eval_sim_point({"kind": "mm_compare", "n": 30000})
     text = bar_chart(
         ["Hybrid", "Processor-only", "FPGA-only", "Model prediction"],
-        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        [cmp["hybrid"], cmp["cpu_only"], cmp["fpga_only"], cmp["predicted"]],
         "Extension: ring matrix multiplication, n = 30000, p = 6",
         unit=" GFLOPS",
     )
     text += (
         f"\nEq. 2 split: m_f = {design.plan.m_f} of r = {design.plan.r} rows per step; "
-        f"{percent(cmp.fraction_of_sum)} of baseline sum, "
-        f"{percent(cmp.fraction_of_predicted)} of prediction."
+        f"{percent(cmp['fraction_of_sum'])} of baseline sum, "
+        f"{percent(cmp['fraction_of_predicted'])} of prediction."
     )
     checks = {
-        "hybrid_beats_cpu_only": cmp.speedup_vs_cpu > 1.3,
-        "hybrid_beats_fpga_only": cmp.speedup_vs_fpga > 2.0,
-        "near_sum_of_baselines": cmp.fraction_of_sum > 0.95,
-        "near_prediction": cmp.fraction_of_predicted > 0.9,
+        "hybrid_beats_cpu_only": cmp["speedup_vs_cpu"] > 1.3,
+        "hybrid_beats_fpga_only": cmp["speedup_vs_fpga"] > 2.0,
+        "near_sum_of_baselines": cmp["fraction_of_sum"] > 0.95,
+        "near_prediction": cmp["fraction_of_predicted"] > 0.9,
     }
     return ExperimentResult(
         "ext-mm",
         "extension: ring matrix multiplication",
         text,
         {
-            "hybrid": cmp.hybrid.gflops,
-            "cpu_only": cmp.cpu_only.gflops,
-            "fpga_only": cmp.fpga_only.gflops,
-            "predicted": cmp.predicted_gflops,
+            "hybrid": cmp["hybrid"],
+            "cpu_only": cmp["cpu_only"],
+            "fpga_only": cmp["fpga_only"],
+            "predicted": cmp["predicted"],
         },
         checks,
     )
@@ -532,17 +711,19 @@ def ext_scaling() -> ExperimentResult:
     scaling for LU (n = 18000 across chassis sizes), simulated and
     compared with the Section 4.5 predictions.
     """
-    from .analysis import fw_weak_scaling, lu_strong_scaling
-
-    fw_points = fw_weak_scaling(ps=(2, 4, 6, 12))
-    lu_points = lu_strong_scaling(ps=(2, 3, 6), n=18000, b=3000)
+    fw_ps, lu_ps = (2, 4, 6, 12), (2, 3, 6)
+    points = _eval_sim_points(
+        [{"kind": "fw_weak", "p": p, "cols_per_node": 12} for p in fw_ps]
+        + [{"kind": "lu_strong", "p": p, "n": 18000, "b": 3000} for p in lu_ps]
+    )
+    fw_points, lu_points = points[: len(fw_ps)], points[len(fw_ps):]
     rows = [
-        ["FW weak", pt.p, f"{pt.gflops:.2f}", f"{pt.predicted:.2f}",
-         percent(pt.efficiency_of_prediction)]
+        ["FW weak", pt["p"], f"{pt['gflops']:.2f}", f"{pt['predicted']:.2f}",
+         percent(pt["efficiency_of_prediction"])]
         for pt in fw_points
     ] + [
-        ["LU strong", pt.p, f"{pt.gflops:.2f}", f"{pt.predicted:.2f}",
-         percent(pt.efficiency_of_prediction)]
+        ["LU strong", pt["p"], f"{pt['gflops']:.2f}", f"{pt['predicted']:.2f}",
+         percent(pt["efficiency_of_prediction"])]
         for pt in lu_points
     ]
     text = table(
@@ -555,15 +736,15 @@ def ext_scaling() -> ExperimentResult:
         "strong-scaling curve flattens as the serial panel path grows relative "
         "to the shrinking per-node opMM work -- Amdahl in the owner lane."
     )
-    fw_g = [pt.gflops for pt in fw_points]
-    lu_g = [pt.gflops for pt in lu_points]
+    fw_g = [pt["gflops"] for pt in fw_points]
+    lu_g = [pt["gflops"] for pt in lu_points]
     checks = {
         "fw_weak_scaling_monotone": all(b > a for a, b in zip(fw_g, fw_g[1:])),
-        "fw_near_linear": fw_points[-1].gflops / fw_points[0].gflops
-        > 0.8 * fw_points[-1].p / fw_points[0].p,
+        "fw_near_linear": fw_points[-1]["gflops"] / fw_points[0]["gflops"]
+        > 0.8 * fw_points[-1]["p"] / fw_points[0]["p"],
         "lu_more_nodes_help": lu_g[-1] > lu_g[0],
         "predictions_are_upper_bounds": all(
-            pt.efficiency_of_prediction <= 1.001 for pt in fw_points + lu_points
+            pt["efficiency_of_prediction"] <= 1.001 for pt in fw_points + lu_points
         ),
     }
     return ExperimentResult(
@@ -589,9 +770,16 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_all() -> list[ExperimentResult]:
-    """Run every experiment; returns results in presentation order."""
-    return [fn() for fn in ALL_EXPERIMENTS.values()]
+def run_all(jobs: Any = None, cache: Any = None) -> list[ExperimentResult]:
+    """Run every experiment; returns results in presentation order.
+
+    ``jobs`` and ``cache`` configure the sweep executor and result cache
+    for the duration of the run (see :func:`configured`); the defaults
+    consult ``REPRO_PARALLEL`` and ``REPRO_CACHE``.  Output is identical
+    for any worker count and cache state.
+    """
+    with configured(jobs=jobs, cache=cache):
+        return [fn() for fn in ALL_EXPERIMENTS.values()]
 
 
 def main() -> int:  # pragma: no cover - exercised via the generator script

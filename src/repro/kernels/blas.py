@@ -29,13 +29,23 @@ def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, alpha: float
     b = np.asarray(b, dtype=np.float64)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"incompatible gemm shapes {a.shape} x {b.shape}")
-    prod = alpha * (a @ b)
+    # One allocation: matmul writes straight into the output block, then
+    # alpha/beta are applied in place (no alpha*(a@b) or beta*c temporaries
+    # in the common alpha = beta = 1 case).
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.float64)
+    np.matmul(a, b, out=out)
+    if alpha != 1.0:
+        out *= alpha
     if c is None:
-        return prod
+        return out
     c = np.asarray(c, dtype=np.float64)
-    if c.shape != prod.shape:
-        raise ValueError(f"C shape {c.shape} does not match product {prod.shape}")
-    return prod + beta * c
+    if c.shape != out.shape:
+        raise ValueError(f"C shape {c.shape} does not match product {out.shape}")
+    if beta == 1.0:
+        out += c
+    else:
+        out += beta * c
+    return out
 
 
 def getrf_nopiv(a: np.ndarray) -> np.ndarray:

@@ -20,7 +20,13 @@ import numpy as np
 
 from .flops import fw_block_flops
 
-__all__ = ["BlockedFwResult", "fwi", "floyd_warshall_simple", "blocked_floyd_warshall"]
+__all__ = [
+    "BlockedFwResult",
+    "fwi",
+    "fwi_inplace",
+    "floyd_warshall_simple",
+    "blocked_floyd_warshall",
+]
 
 
 def fwi(d: np.ndarray, a: np.ndarray | None = None, b: np.ndarray | None = None) -> np.ndarray:
@@ -39,6 +45,37 @@ def fwi(d: np.ndarray, a: np.ndarray | None = None, b: np.ndarray | None = None)
         raise ValueError(f"blocks must all be {n} x {n}")
     for kk in range(n):
         np.minimum(d, a_blk[:, kk : kk + 1] + b_blk[kk : kk + 1, :], out=d)
+    return d
+
+
+def fwi_inplace(
+    d: np.ndarray,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """:func:`fwi` updating ``d`` in place (``d`` may be a matrix view).
+
+    ``d`` must be a writable float64 block; ``a`` / ``b`` default to ``d``
+    itself (op1) and must not partially overlap it otherwise.  ``scratch``
+    is an optional ``b x b`` float64 buffer reused for the per-pivot sum,
+    so a caller sweeping many blocks allocates nothing per call.  Returns
+    ``d``.
+    """
+    if not isinstance(d, np.ndarray) or d.dtype != np.float64:
+        raise ValueError("fwi_inplace requires a float64 ndarray target")
+    a_blk = d if a is None else np.asarray(a, dtype=np.float64)
+    b_blk = d if b is None else np.asarray(b, dtype=np.float64)
+    n = d.shape[0]
+    if d.shape != (n, n) or a_blk.shape != (n, n) or b_blk.shape != (n, n):
+        raise ValueError(f"blocks must all be {n} x {n}")
+    if scratch is None:
+        scratch = np.empty((n, n), dtype=np.float64)
+    elif scratch.shape != (n, n) or scratch.dtype != np.float64:
+        raise ValueError(f"scratch must be float64 {n} x {n}")
+    for kk in range(n):
+        np.add(a_blk[:, kk : kk + 1], b_blk[kk : kk + 1, :], out=scratch)
+        np.minimum(d, scratch, out=d)
     return d
 
 
@@ -76,6 +113,10 @@ def blocked_floyd_warshall(d: np.ndarray, b: int) -> BlockedFwResult:
     nb = n // b
     counts = {"op1": 0, "op21": 0, "op22": 0, "op3": 0}
     flops = 0.0
+    # All block updates run in place on views of ``d`` (the a/b operand
+    # blocks are always disjoint from the target, or are the target
+    # itself in op1), sharing one scratch buffer -- no per-block copies.
+    scratch = np.empty((b, b), dtype=np.float64)
 
     def blk(u: int, v: int) -> tuple[slice, slice]:
         return slice(u * b, (u + 1) * b), slice(v * b, (v + 1) * b)
@@ -83,7 +124,7 @@ def blocked_floyd_warshall(d: np.ndarray, b: int) -> BlockedFwResult:
     for t in range(nb):
         tt = blk(t, t)
         # Step 1: op1 on the diagonal block.
-        d[tt] = fwi(d[tt])
+        fwi_inplace(d[tt], scratch=scratch)
         counts["op1"] += 1
         flops += fw_block_flops(b)
         # Step 2: op21 on the pivot block row, op22 on the pivot column.
@@ -91,11 +132,11 @@ def blocked_floyd_warshall(d: np.ndarray, b: int) -> BlockedFwResult:
             if q == t:
                 continue
             tq = blk(t, q)
-            d[tq] = fwi(d[tq], d[tt], None)  # rows of D_tt, columns of D_tq
+            fwi_inplace(d[tq], d[tt], None, scratch=scratch)  # rows of D_tt
             counts["op21"] += 1
             flops += fw_block_flops(b)
             qt = blk(q, t)
-            d[qt] = fwi(d[qt], None, d[tt])  # rows of D_qt, columns of D_tt
+            fwi_inplace(d[qt], None, d[tt], scratch=scratch)  # columns of D_tt
             counts["op22"] += 1
             flops += fw_block_flops(b)
         # Step 3: op3 on every remaining block.
@@ -106,7 +147,7 @@ def blocked_floyd_warshall(d: np.ndarray, b: int) -> BlockedFwResult:
                 if v == t:
                     continue
                 uv = blk(u, v)
-                d[uv] = fwi(d[uv], d[blk(u, t)], d[blk(t, v)])
+                fwi_inplace(d[uv], d[blk(u, t)], d[blk(t, v)], scratch=scratch)
                 counts["op3"] += 1
                 flops += fw_block_flops(b)
     return BlockedFwResult(dist=d, block_size=b, op_counts=counts, flops=flops)

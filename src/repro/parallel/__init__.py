@@ -1,0 +1,32 @@
+"""Sweep execution subsystem: parallel fan-out and content-addressed caching.
+
+Every figure/table reproduction is a sweep over independent design points;
+this package makes those sweeps fast and incremental:
+
+* :mod:`repro.parallel.grid` -- canonical hashing of design-point
+  parameters (the cache key machinery) and cartesian parameter grids,
+* :mod:`repro.parallel.cache` -- a content-addressed JSON result cache
+  under ``.repro_cache/`` keyed on (params, machine, code-version salt),
+* :mod:`repro.parallel.executor` -- a process-pool fan-out executor with
+  deterministic result ordering and a serial fallback.
+
+Opt-in knobs: the ``REPRO_PARALLEL`` environment variable or ``--jobs``
+CLI flag select worker count; ``REPRO_CACHE`` points the cache somewhere
+other than ``.repro_cache/`` (or disables it with ``off``).
+"""
+
+from .cache import CODE_SALT, ResultCache, cache_from_env
+from .executor import SweepExecutor, resolve_jobs
+from .grid import ParamGrid, canonical, canonical_json, canonical_key
+
+__all__ = [
+    "CODE_SALT",
+    "ResultCache",
+    "cache_from_env",
+    "SweepExecutor",
+    "resolve_jobs",
+    "ParamGrid",
+    "canonical",
+    "canonical_json",
+    "canonical_key",
+]

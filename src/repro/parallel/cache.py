@@ -1,0 +1,153 @@
+"""Content-addressed result cache for sweep points.
+
+Results are stored as JSON files under ``.repro_cache/`` (or the path in
+the ``REPRO_CACHE`` environment variable), addressed by a sha256 of the
+canonical form of the evaluation payload -- typically a dict of
+(kind, machine-spec parameters, simulation config) -- salted with
+:data:`CODE_SALT`.  Bumping the salt when the model/simulator semantics
+change invalidates every prior entry at once without touching the files.
+
+Values must be JSON round-trippable.  Floats survive exactly (``json``
+serialises via ``repr`` and parses back to the identical double), so
+cached sweeps reproduce bit-identical experiment text and checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from .grid import canonical_json
+
+__all__ = ["CODE_SALT", "ResultCache", "cache_from_env"]
+
+#: Version salt mixed into every cache key.  Bump when simulator or model
+#: semantics change so stale results can never be replayed.
+CODE_SALT = "repro-model-v1"
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable overriding the cache location ("off"/"0" disables).
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+
+class ResultCache:
+    """A content-addressed JSON store for design-point results.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache (created lazily on first write).
+    salt:
+        Version string mixed into every key; defaults to :data:`CODE_SALT`.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out over 256
+    subdirectories keeps directory listings manageable for large sweeps).
+    Writes are atomic (tmp file + rename), so concurrent workers racing
+    on the same point at worst both compute it; neither sees a torn file.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR, salt: str = CODE_SALT) -> None:
+        self.root = Path(root)
+        self.salt = salt
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(self, payload: Any) -> str:
+        """The cache key for ``payload`` under this cache's salt."""
+        text = f"{self.salt}\n{canonical_json(payload)}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- store ----------------------------------------------------------
+
+    def get(self, payload: Any) -> Optional[dict[str, Any]]:
+        """The stored entry for ``payload``, or None.  Counts a lookup."""
+        self.lookups += 1
+        path = self._path(self.key_for(payload))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, payload: Any, value: Any) -> None:
+        """Store ``value`` for ``payload`` (atomically)."""
+        key = self.key_for(payload)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"salt": self.salt, "payload": canonical_json(payload), "value": value}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def cached_eval(self, payload: Any, compute: Callable[[], Any]) -> Any:
+        """``compute()``'s value for ``payload``, from cache when possible.
+
+        The workhorse call: experiments wrap each simulation in this so a
+        warm re-run replays stored values instead of re-simulating.
+        """
+        entry = self.get(payload)
+        if entry is not None:
+            return entry["value"]
+        value = compute()
+        self.put(payload, value)
+        return value
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for sub in self.root.iterdir():
+            if not sub.is_dir():
+                continue
+            for path in sub.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Lookup/hit/miss counters since construction."""
+        return {"lookups": self.lookups, "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache {self.root} salt={self.salt!r} {self.stats}>"
+
+
+def cache_from_env(default: Optional[str] = None) -> Optional[ResultCache]:
+    """Build a cache from ``REPRO_CACHE`` (or ``default`` when unset).
+
+    Values ``off``, ``0`` and ``none`` disable caching; anything else is
+    the cache directory.  Returns None when disabled/unconfigured.
+    """
+    raw = os.environ.get(CACHE_ENV_VAR, default)
+    if raw is None:
+        return None
+    if raw.strip().lower() in ("", "off", "0", "none", "false"):
+        return None
+    return ResultCache(raw)

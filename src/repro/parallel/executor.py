@@ -1,0 +1,110 @@
+"""Process-pool fan-out for sweep grids.
+
+:class:`SweepExecutor` maps a point function over a grid of values,
+sharding across worker processes when that pays and falling back to a
+plain serial loop when it does not (one job, a tiny grid, or a point
+function that cannot cross a process boundary).  Results always come
+back in input order, so sweeps are bitwise-deterministic regardless of
+worker count.
+
+Worker count resolution (first match wins):
+
+1. the ``jobs`` argument,
+2. the ``REPRO_PARALLEL`` environment variable (``auto`` = CPU count),
+3. serial (1).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = ["SweepExecutor", "resolve_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable selecting the default worker count.
+PARALLEL_ENV_VAR = "REPRO_PARALLEL"
+
+#: Grids smaller than ``jobs * MIN_POINTS_PER_JOB`` run serially: pool
+#: startup (fork + import) costs more than a handful of model solves.
+MIN_POINTS_PER_JOB = 2
+
+
+def resolve_jobs(jobs: Optional[int | str] = None) -> int:
+    """The effective worker count for ``jobs`` (see module docstring)."""
+    raw: Any = jobs if jobs is not None else os.environ.get(PARALLEL_ENV_VAR)
+    if raw is None:
+        return 1
+    if isinstance(raw, str):
+        raw = raw.strip().lower()
+        if raw in ("", "0"):
+            return 1
+        if raw == "auto":
+            return os.cpu_count() or 1
+        try:
+            raw = int(raw)
+        except ValueError:
+            raise ValueError(f"invalid jobs value {raw!r}: expected an integer or 'auto'")
+    if raw < 0:
+        raise ValueError(f"jobs must be >= 0, got {raw}")
+    return max(1, int(raw))
+
+
+def _is_picklable(fn: Callable[..., Any]) -> bool:
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return False
+    return True
+
+
+class SweepExecutor:
+    """Maps point functions over sweep grids, optionally in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count, ``"auto"``, or None to consult ``REPRO_PARALLEL``.
+
+    The executor is stateless between calls (pools are created per
+    :meth:`map`), so a single instance can be shared freely; it is also
+    safe to use from within pytest and the CLI.
+    """
+
+    def __init__(self, jobs: Optional[int | str] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        #: How the last map() call ran ("serial" | "parallel"); for tests
+        #: and benchmark reporting.
+        self.last_mode: str = "serial"
+
+    def map(self, fn: Callable[[T], R], values: Iterable[T]) -> list[R]:
+        """``[fn(v) for v in values]``, sharded across workers when useful.
+
+        Results are returned in input order.  Falls back to the serial
+        loop when ``jobs <= 1``, when the grid is too small to amortise
+        pool startup, or when ``fn`` is not picklable (lambdas/closures).
+        """
+        items: Sequence[T] = values if isinstance(values, Sequence) else list(values)
+        n = len(items)
+        if (
+            self.jobs <= 1
+            or n < self.jobs * MIN_POINTS_PER_JOB
+            or n <= 1
+            or not _is_picklable(fn)
+        ):
+            self.last_mode = "serial"
+            return [fn(v) for v in items]
+        self.last_mode = "parallel"
+        workers = min(self.jobs, n)
+        # Chunk so each worker gets a few batches (load balancing) without
+        # per-point IPC overhead.
+        chunksize = max(1, -(-n // (workers * 4)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepExecutor jobs={self.jobs}>"

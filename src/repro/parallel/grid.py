@@ -1,0 +1,105 @@
+"""Canonical forms and parameter grids for sweep points.
+
+A design point is identified by its parameters, not by Python object
+identity: two sweeps that evaluate ``simulate_lu`` on the same machine
+spec and config must produce the same cache key even though the frozen
+dataclasses were constructed separately.  :func:`canonical` reduces
+parameter structures to a deterministic JSON-able form, and
+:func:`canonical_key` hashes that form into a hex digest used as the
+cache address.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from itertools import product
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["canonical", "canonical_json", "canonical_key", "ParamGrid"]
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-able structure.
+
+    Dataclasses become ``{"__dataclass__": <qualified name>, <fields>...}``
+    so that two different dataclasses with identical field values do not
+    collide.  Mappings are key-sorted; sets are sorted; tuples/lists both
+    become lists (a sweep over ``(1, 2)`` and ``[1, 2]`` is the same
+    sweep).  NumPy scalars reduce to their Python equivalents via
+    ``item()``; floats stay floats (``repr`` round-trips exactly through
+    JSON, so keys are bit-precise).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        out: dict[str, Any] = {"__dataclass__": f"{cls.__module__}.{cls.__qualname__}"}
+        for field in dataclasses.fields(value):
+            out[field.name] = canonical(getattr(value, field.name))
+        return out
+    if isinstance(value, Mapping):
+        items = [(str(k), canonical(v)) for k, v in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        return dict(items)
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonical(v) for v in value), key=repr)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # NumPy scalars (and anything else with an exact Python equivalent).
+    item = getattr(value, "item", None)
+    if callable(item):
+        got = item()
+        if isinstance(got, (str, int, float, bool)) or got is None:
+            return got
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} value {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_key(value: Any) -> str:
+    """A stable sha256 hex digest of ``value``'s canonical form."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+class ParamGrid:
+    """A cartesian product of named parameter axes, in deterministic order.
+
+    >>> grid = ParamGrid(b=[1500, 3000], l=[2, 3])
+    >>> [p["b"] for p in grid]
+    [1500, 1500, 3000, 3000]
+
+    Axis order follows declaration order; the rightmost axis varies
+    fastest, like nested for-loops.
+    """
+
+    def __init__(self, **axes: Sequence[Any]) -> None:
+        if not axes:
+            raise ValueError("ParamGrid requires at least one axis")
+        for name, values in axes.items():
+            if not len(values):
+                raise ValueError(f"axis {name!r} is empty")
+        self.axes: dict[str, tuple[Any, ...]] = {k: tuple(v) for k, v in axes.items()}
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        names = list(self.axes)
+        for combo in product(*self.axes.values()):
+            yield dict(zip(names, combo))
+
+    def points(self) -> list[dict[str, Any]]:
+        """All grid points as a list of dicts."""
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "x".join(str(len(v)) for v in self.axes.values())
+        return f"<ParamGrid {shape} over {list(self.axes)}>"

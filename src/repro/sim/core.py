@@ -28,13 +28,45 @@ The engine is deterministic: events scheduled for the same time fire in
 the order in which they were scheduled (a monotone sequence number breaks
 ties), which makes traces reproducible across runs -- a property the test
 suite relies on.
+
+Performance notes
+-----------------
+Sweeps run millions of events, so the hot path is tuned:
+
+* The first callback of an event lives in a dedicated ``_cb`` slot and the
+  overflow list ``callbacks`` is created lazily -- the common one-waiter
+  case (a process yielding a timeout) allocates no list and ``_step``
+  dispatches it inline without swapping lists.
+* :meth:`Simulator.timeout` recycles :class:`Timeout` instances from a
+  small free pool.  Recycling is only done for timeouts that nothing else
+  references (checked via ``sys.getrefcount`` after dispatch), so holding
+  on to a fired timeout and reading its value later remains safe.
+* Event names are computed lazily (``__getattr__``), so the per-timeout
+  f-string formatting of the debugging name is never paid unless someone
+  actually looks at it.
+* Starting a :class:`Process` posts a pre-triggered bare-bones event
+  instead of building, wiring and succeeding a full bootstrap event.
+* Zero-delay posts (every ``succeed``/``fail``, process bootstraps,
+  condition fires) bypass the calendar entirely: they go to a FIFO deque
+  of same-time events.  Deque entries are always younger than any
+  calendar entry scheduled at the current time, so draining calendar
+  entries at ``now`` first and then the deque reproduces the global
+  schedule order of the naive implementation.
+* Delayed events live in a calendar queue: a heap of *distinct* times
+  plus a dict mapping each time to its events (a bare event, promoted to
+  a deque on the second arrival).  Same-time bursts -- barrier releases,
+  synchronized stripe starts, fan-in joins -- cost one dict append
+  instead of a tuple heappush, FIFO order within a time replaces the
+  sequence counter, and the heap stays as small as the number of
+  distinct pending times.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from collections import deque
 from collections.abc import Generator
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
@@ -47,6 +79,10 @@ __all__ = [
     "SimulationError",
     "ProcessFailure",
 ]
+
+#: Upper bound on the Timeout free pool; past this, instances are dropped
+#: to the garbage collector like any other object.
+_TIMEOUT_POOL_CAP = 256
 
 
 class SimulationError(RuntimeError):
@@ -66,9 +102,13 @@ class Event:
     Events start *pending*; calling :meth:`succeed` (or :meth:`fail`)
     *triggers* them, after which their callbacks run inside the event loop
     at the current simulation time.  An event can only be triggered once.
+
+    Callbacks are stored as a single ``_cb`` slot plus a lazily-created
+    overflow list; use :meth:`add_callback` rather than touching either
+    attribute directly.
     """
 
-    __slots__ = ("sim", "name", "_value", "_ok", "_triggered", "_processed", "callbacks")
+    __slots__ = ("sim", "name", "_value", "_ok", "_triggered", "_processed", "_cb", "callbacks")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -77,7 +117,15 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self._cb: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
+
+    def __getattr__(self, attr: str) -> Any:
+        # Only reached when a slot was never assigned (fast-path events
+        # skip __init__ and leave ``name`` unset until someone asks).
+        if attr == "name":
+            return ""
+        raise AttributeError(attr)
 
     # -- state ---------------------------------------------------------
 
@@ -112,7 +160,7 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.sim._post(self)
+        self.sim._dq.append(self)  # zero-delay post, inlined
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -124,7 +172,7 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.sim._post(self)
+        self.sim._dq.append(self)  # zero-delay post, inlined
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -135,8 +183,18 @@ class Event:
         """
         if self._processed:
             fn(self)
+        elif self._cb is None:
+            self._cb = fn
         else:
-            self.callbacks.append(fn)
+            cbs = self.callbacks
+            if cbs is None:
+                self.callbacks = [fn]
+            else:
+                cbs.append(fn)
+
+    def _has_waiters(self) -> bool:
+        """True if any callback is registered (crash-surfacing helper)."""
+        return self._cb is not None or bool(self.callbacks)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
@@ -145,19 +203,33 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Prefer :meth:`Simulator.timeout`, which recycles instances from a free
+    pool; direct construction works but always allocates.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        self.sim = sim
         self._value = value
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._cb = None
+        self.callbacks = None
+        self.delay = delay
         sim._post(self, delay=delay)
+
+    def __getattr__(self, attr: str) -> Any:
+        if attr == "name":
+            # Lazy: formatting every timeout's debug name dominated
+            # Timeout construction in profiles.
+            return f"timeout({self.delay:g})"
+        raise AttributeError(attr)
 
 
 class Process(Event):
@@ -168,18 +240,31 @@ class Process(Event):
     collect its result.
     """
 
-    __slots__ = ("generator", "_target")
+    __slots__ = ("generator", "_send", "_throw", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         if not isinstance(generator, Generator):
             raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
-        # Bootstrap: resume for the first time via an immediately-fired event.
-        init = Event(sim, name=f"init:{self.name}")
-        init.add_callback(self._resume)
-        init.succeed()
+        # One bound method reused for every event this process waits on
+        # (binding per wait shows up in profiles at event rates).
+        self._resume_cb: Callable[[Event], None] = self._resume
+        # Bootstrap: resume for the first time via a bare pre-triggered
+        # event posted at the current time (skips the full Event/succeed
+        # ceremony of the naive implementation).
+        init = Event.__new__(Event)
+        init.sim = sim
+        init._value = None
+        init._ok = True
+        init._triggered = True
+        init._processed = False
+        init._cb = self._resume_cb
+        init.callbacks = None
+        sim._post(init)
 
     @property
     def is_alive(self) -> bool:
@@ -188,41 +273,60 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired event's value."""
-        self._target = None
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if event._ok:
+                target = self._send(event._value)
             else:
-                target = self.generator.throw(event.value)
+                target = self._throw(event._value)
         except StopIteration as stop:
+            self._target = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
             # The process died.  Fail the process event so waiters see it;
             # if nobody is waiting, the simulator surfaces it from run().
+            self._target = None
             try:
                 self.fail(exc)
             except SimulationError:
                 pass
-            if not self.callbacks:
+            if not self._has_waiters():
                 self.sim._crashed.append((self, exc))
             return
-        if not isinstance(target, Event):
+        # ``target.sim`` doubles as the is-an-Event check: every Event
+        # carries it and yielding anything else is a programming error
+        # surfaced below (an isinstance on the hot path costs real time).
+        try:
+            foreign = target.sim is not self.sim
+        except AttributeError:
+            self._target = None
             exc2 = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Event instances"
             )
             self.fail(exc2)
-            if not self.callbacks:
+            if not self._has_waiters():
                 self.sim._crashed.append((self, exc2))
             return
-        if target.sim is not self.sim:
+        if foreign:
+            self._target = None
             exc3 = SimulationError(f"process {self.name!r} yielded an event from another simulator")
             self.fail(exc3)
-            if not self.callbacks:
+            if not self._has_waiters():
                 self.sim._crashed.append((self, exc3))
             return
         self._target = target
-        target.add_callback(self._resume)
+        # Inlined add_callback on the hot wait path.
+        resume = self._resume_cb
+        if target._processed:
+            resume(target)
+        elif target._cb is None:
+            target._cb = resume
+        else:
+            cbs = target.callbacks
+            if cbs is None:
+                target.callbacks = [resume]
+            else:
+                cbs.append(resume)
 
 
 class _Condition(Event):
@@ -230,21 +334,42 @@ class _Condition(Event):
 
     __slots__ = ("events", "_pending")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str) -> None:
-        super().__init__(sim, name=name)
-        self.events: tuple[Event, ...] = tuple(events)
-        for ev in self.events:
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        # Inlined Event.__init__; the class name (``all_of`` / ``any_of``)
+        # comes lazily from the subclass ``__getattr__``.
+        self.sim = sim
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._cb = None
+        self.callbacks = None
+        evs = self.events = tuple(events)
+        for ev in evs:
             if ev.sim is not sim:
                 raise SimulationError("condition mixes events from different simulators")
-        self._pending = len(self.events)
-        if not self.events:
+        self._pending = len(evs)
+        if not evs:
             self.succeed(self._collect())
-        else:
-            for ev in self.events:
-                ev.add_callback(self._check)
+            return
+        # One bound method shared by all constituents, wired through the
+        # inlined add_callback fast path (fan-in is hot in the machine
+        # models: every overlap barrier is an all_of over channel ops).
+        check = self._check
+        for ev in evs:
+            if ev._processed:
+                check(ev)
+            elif ev._cb is None:
+                ev._cb = check
+            else:
+                cbs = ev.callbacks
+                if cbs is None:
+                    ev.callbacks = [check]
+                else:
+                    cbs.append(check)
 
     def _collect(self) -> dict[Event, Any]:
-        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
 
     def _check(self, event: Event) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -259,14 +384,16 @@ class AllOf(_Condition):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim, events, name="all_of")
+    def __getattr__(self, attr: str) -> Any:
+        if attr == "name":
+            return "all_of"
+        raise AttributeError(attr)
 
     def _check(self, event: Event) -> None:
         if self._triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self._pending -= 1
         if self._pending == 0:
@@ -281,14 +408,16 @@ class AnyOf(_Condition):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim, events, name="any_of")
+    def __getattr__(self, attr: str) -> Any:
+        if attr == "name":
+            return "any_of"
+        raise AttributeError(attr)
 
     def _check(self, event: Event) -> None:
         if self._triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self.succeed(self._collect())
 
@@ -307,9 +436,16 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        # Calendar queue: heap of distinct pending times + per-time bucket.
+        # A bucket is the event itself while a time has a single event and
+        # is promoted to a deque on the second arrival.
+        self._times: list[float] = []
+        self._buckets: dict[float, Any] = {}
+        # Zero-delay posts in FIFO order; always at time self._now, always
+        # younger than any calendar entry scheduled at self._now.
+        self._dq: deque[Event] = deque()
         self._crashed: list[tuple[Process, BaseException]] = []
+        self._timeout_pool: list[Timeout] = []
         self.trace = None  # set by callers that want tracing
 
     # -- clock ----------------------------------------------------------
@@ -323,11 +459,61 @@ class Simulator:
 
     def event(self, name: str = "") -> Event:
         """Create a fresh pending event."""
-        return Event(self, name=name)
+        # Bypasses Event.__init__; this factory is on the hot path of the
+        # message-passing machinery (one event per send/recv pairing).
+        ev = Event.__new__(Event)
+        ev.sim = self
+        if name:
+            ev.name = name
+        ev._value = None
+        ev._ok = True
+        ev._triggered = False
+        ev._processed = False
+        ev._cb = None
+        ev.callbacks = None
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` seconds from now.
+
+        Instances come from a free pool of timeouts that completed with no
+        outstanding references; the pool bounds allocation in timeout-heavy
+        simulations (every compute/transfer in the machine models is one).
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t.delay = delay
+            t._value = value
+            t._processed = False
+            # _ok/_triggered/_cb/callbacks were reset when recycled.
+        else:
+            t = Timeout.__new__(Timeout)
+            t.sim = self
+            t._value = value
+            t._ok = True
+            t._triggered = True
+            t._processed = False
+            t._cb = None
+            t.callbacks = None
+            t.delay = delay
+        if delay == 0.0:
+            self._dq.append(t)
+        else:
+            # Inlined calendar push (mirrors _post).
+            when = self._now + delay
+            buckets = self._buckets
+            b = buckets.get(when)
+            if b is None:
+                buckets[when] = t
+                heappush(self._times, when)
+            elif type(b) is deque:
+                b.append(t)
+            else:
+                buckets[when] = deque((b, t))
+        return t
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``; returns its Process event."""
@@ -344,17 +530,74 @@ class Simulator:
     # -- scheduling -------------------------------------------------------
 
     def _post(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+        if delay == 0.0:
+            self._dq.append(event)
+        else:
+            when = self._now + delay
+            buckets = self._buckets
+            b = buckets.get(when)
+            if b is None:
+                buckets[when] = event
+                heappush(self._times, when)
+            elif type(b) is deque:
+                b.append(event)
+            else:
+                buckets[when] = deque((b, event))
+
+    def _pop_bucket(self) -> Event:
+        """Take the next calendar event at ``self._times[0]``, advancing the
+        clock; retires the time once its bucket drains."""
+        when = self._times[0]
+        buckets = self._buckets
+        b = buckets[when]
+        if type(b) is deque:
+            event = b.popleft()
+            if not b:
+                heappop(self._times)
+                del buckets[when]
+        else:
+            event = b
+            heappop(self._times)
+            del buckets[when]
+        self._now = when
+        return event
+
+    def _pop_next(self) -> Optional[Event]:
+        """The next event in schedule order, advancing the clock.
+
+        Calendar entries scheduled at the current time predate everything
+        in the same-time deque, so they win ties.
+        """
+        if self._dq:
+            if self._times and self._times[0] <= self._now:
+                return self._pop_bucket()
+            return self._dq.popleft()
+        if self._times:
+            return self._pop_bucket()
+        return None
 
     def _step(self) -> None:
-        time, _, event = heapq.heappop(self._heap)
-        if time < self._now:  # pragma: no cover - defensive
-            raise SimulationError("event scheduled in the past")
-        self._now = time
+        event = self._pop_next()
+        if event is None:  # pragma: no cover - defensive
+            raise SimulationError("step() on an empty schedule")
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for fn in callbacks:
-            fn(event)
+        # Inline dispatch of the dedicated first-callback slot; the
+        # overflow list only exists for events with multiple waiters.
+        cb = event._cb
+        if cb is not None:
+            event._cb = None
+            cb(event)
+        cbs = event.callbacks
+        if cbs:
+            event.callbacks = None
+            for fn in cbs:
+                fn(event)
+        # Recycle the timeout if provably unreferenced: the only remaining
+        # references are our local and getrefcount's argument.
+        if type(event) is Timeout and getrefcount(event) == 2:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_CAP:
+                pool.append(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains or ``until`` is reached.
@@ -363,13 +606,73 @@ class Simulator:
         exception that no other process consumed, a :class:`ProcessFailure`
         chaining the first such exception is raised.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self._now = until
+        # The `_step` body is inlined here with hoisted locals; at sweep
+        # event rates the per-event method call and attribute loads are
+        # measurable.  Keep semantic changes mirrored in `_step`.
+        times = self._times
+        buckets = self._buckets
+        dq = self._dq
+        crashed = self._crashed
+        pool = self._timeout_pool
+        refcount = getrefcount
+        pop = heappop
+        popleft = dq.popleft
+        dq_deque = deque
+        horizon = float("inf") if until is None else until
+        while True:
+            # Same selection rule as _pop_next, with `until` applied when
+            # the next event would come off the calendar (deque events
+            # always run at the already-reached current time).
+            if dq:
+                if times and times[0] <= self._now:
+                    when = times[0]
+                    b = buckets[when]
+                    if type(b) is dq_deque:
+                        event = b.popleft()
+                        if not b:
+                            pop(times)
+                            del buckets[when]
+                    else:
+                        event = b
+                        b = None  # drop the extra ref before recycling
+                        pop(times)
+                        del buckets[when]
+                    self._now = when
+                else:
+                    event = popleft()
+            elif times:
+                when = times[0]
+                if when > horizon:
+                    self._now = until
+                    break
+                b = buckets[when]
+                if type(b) is dq_deque:
+                    event = b.popleft()
+                    if not b:
+                        pop(times)
+                        del buckets[when]
+                else:
+                    event = b
+                    b = None  # drop the extra ref before recycling
+                    pop(times)
+                    del buckets[when]
+                self._now = when
+            else:
                 break
-            self._step()
-            if self._crashed:
-                proc, exc = self._crashed[0]
+            event._processed = True
+            cb = event._cb
+            if cb is not None:
+                event._cb = None
+                cb(event)
+            cbs = event.callbacks
+            if cbs:
+                event.callbacks = None
+                for fn in cbs:
+                    fn(event)
+            if type(event) is Timeout and refcount(event) == 2 and len(pool) < _TIMEOUT_POOL_CAP:
+                pool.append(event)
+            if crashed:
+                proc, exc = crashed[0]
                 # A failure is "consumed" if some other process was waiting
                 # on the failed process event (its callbacks were drained).
                 raise ProcessFailure(f"process {proc.name!r} failed at t={self._now:g}") from exc
@@ -377,4 +680,6 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._dq:
+            return self._now
+        return self._times[0] if self._times else float("inf")

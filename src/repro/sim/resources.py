@@ -29,9 +29,16 @@ class Request(Event):
     __slots__ = ("resource", "amount")
 
     def __init__(self, resource: "Resource", amount: int) -> None:
-        super().__init__(resource.sim, name=f"request:{resource.name}")
+        super().__init__(resource.sim)
         self.resource = resource
         self.amount = amount
+
+    def __getattr__(self, attr: str):
+        if attr == "name":
+            # Lazy: requests are created once per simulated kernel call and
+            # the debug name is only needed when something prints the event.
+            return f"request:{self.resource.name}"
+        raise AttributeError(attr)
 
 
 class Resource:
@@ -119,14 +126,16 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Deposit ``item``; yield the event to block until accepted."""
-        ev = Event(self.sim, name=f"put:{self.name}")
+        # Unnamed via the slim factory: one event per message, and the
+        # f-string debug name dominated put()/get() in profiles.
+        ev = self.sim.event()
         self._putters.append((ev, item))
         self._dispatch()
         return ev
 
     def get(self) -> Event:
         """Withdraw the oldest item; the event's value is the item."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = self.sim.event()
         self._getters.append(ev)
         self._dispatch()
         return ev

@@ -1,0 +1,224 @@
+"""Tests for the parallel sweep subsystem: grid canonicalisation, the
+content-addressed result cache, the process-pool executor, and the
+experiment-level wiring (serial == parallel == warm-cache)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import sweep
+from repro.parallel import (
+    CODE_SALT,
+    ParamGrid,
+    ResultCache,
+    SweepExecutor,
+    cache_from_env,
+    canonical,
+    canonical_json,
+    canonical_key,
+    resolve_jobs,
+)
+from repro.parallel.executor import PARALLEL_ENV_VAR
+from repro.parallel.cache import CACHE_ENV_VAR
+
+
+def _square(x):
+    """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+# -----------------------------------------------------------------------
+# canonical form / keys
+# -----------------------------------------------------------------------
+
+
+def test_canonical_sorts_mapping_keys():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+def test_canonical_handles_numpy_scalars_and_sequences():
+    assert canonical(np.float64(1.5)) == 1.5
+    assert canonical((1, 2, (3,))) == [1, 2, [3]]
+
+
+def test_canonical_dataclass_embeds_qualified_name():
+    from repro.machine import cray_xd1
+
+    spec = cray_xd1()
+    form = canonical(spec)
+    assert "__dataclass__" in form
+    assert form["__dataclass__"].endswith(spec.__class__.__qualname__)
+
+
+def test_canonical_rejects_unserialisable_values():
+    with pytest.raises(TypeError):
+        canonical(object())
+
+
+def test_canonical_key_is_stable_and_order_insensitive():
+    k1 = canonical_key({"kind": "lu", "n": 30000, "b": 3000})
+    k2 = canonical_key({"b": 3000, "n": 30000, "kind": "lu"})
+    assert k1 == k2
+    assert len(k1) == 64  # sha256 hex
+
+
+def test_param_grid_orders_rightmost_fastest():
+    grid = ParamGrid(a=[1, 2], b=[10, 20])
+    assert len(grid) == 4
+    assert list(grid) == [
+        {"a": 1, "b": 10},
+        {"a": 1, "b": 20},
+        {"a": 2, "b": 10},
+        {"a": 2, "b": 20},
+    ]
+
+
+# -----------------------------------------------------------------------
+# result cache
+# -----------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    payload = {"kind": "unit", "x": 3}
+    assert cache.get(payload) is None
+    cache.put(payload, {"y": 9.5})
+    entry = cache.get(payload)
+    assert entry is not None and entry["value"] == {"y": 9.5}
+    assert cache.stats == {"lookups": 2, "hits": 1, "misses": 1}
+
+
+def test_cache_salt_invalidation(tmp_path):
+    root = tmp_path / "cache"
+    old = ResultCache(root, salt="v1")
+    old.put({"x": 1}, 42)
+    assert ResultCache(root, salt="v1").get({"x": 1})["value"] == 42
+    # A bumped salt must never replay entries written under the old one.
+    assert ResultCache(root, salt="v2").get({"x": 1}) is None
+
+
+def test_cached_eval_computes_once(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return 7.25
+
+    assert cache.cached_eval({"p": 1}, compute) == 7.25
+    assert cache.cached_eval({"p": 1}, compute) == 7.25
+    assert len(calls) == 1
+
+
+def test_cache_round_trips_floats_exactly(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    value = {"elapsed": 0.1 + 0.2, "gflops": 1.0 / 3.0}
+    cache.put({"p": "floats"}, value)
+    assert cache.get({"p": "floats"})["value"] == value
+
+
+def test_cache_tolerates_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put({"p": 1}, 1)
+    path = cache._path(cache.key_for({"p": 1}))
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get({"p": 1}) is None
+
+
+def test_cache_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put({"p": 1}, 1)
+    cache.put({"p": 2}, 2)
+    assert cache.clear() == 2
+    assert cache.get({"p": 1}) is None
+
+
+def test_cache_from_env(tmp_path, monkeypatch):
+    monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+    assert cache_from_env() is None
+    monkeypatch.setenv(CACHE_ENV_VAR, "off")
+    assert cache_from_env() is None
+    monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "c"))
+    cache = cache_from_env()
+    assert cache is not None and cache.salt == CODE_SALT
+
+
+# -----------------------------------------------------------------------
+# executor
+# -----------------------------------------------------------------------
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv(PARALLEL_ENV_VAR, raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs("0") == 1
+    assert resolve_jobs("auto") >= 1
+    monkeypatch.setenv(PARALLEL_ENV_VAR, "3")
+    assert resolve_jobs() == 3
+    with pytest.raises(ValueError):
+        resolve_jobs("many")
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+def test_executor_serial_matches_parallel():
+    values = list(range(24))
+    expected = [_square(v) for v in values]
+    serial = SweepExecutor(jobs=1)
+    assert serial.map(_square, values) == expected
+    assert serial.last_mode == "serial"
+    parallel = SweepExecutor(jobs=2)
+    assert parallel.map(_square, values) == expected
+    assert parallel.last_mode == "parallel"
+
+
+def test_executor_falls_back_for_unpicklable_fn():
+    ex = SweepExecutor(jobs=2)
+    assert ex.map(lambda v: v + 1, list(range(16))) == list(range(1, 17))
+    assert ex.last_mode == "serial"
+
+
+def test_executor_small_grid_stays_serial():
+    ex = SweepExecutor(jobs=8)
+    assert ex.map(_square, [3]) == [9]
+    assert ex.last_mode == "serial"
+
+
+def test_sweep_with_executor_is_identical():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+    plain = sweep("curve", values, _square)
+    fanned = sweep("curve", values, _square, executor=SweepExecutor(jobs=2))
+    assert plain.xs == fanned.xs and plain.ys == fanned.ys
+
+
+# -----------------------------------------------------------------------
+# experiment-level wiring
+# -----------------------------------------------------------------------
+
+
+def test_experiments_serial_parallel_and_cache_agree(tmp_path):
+    from repro import experiments as E
+
+    picks = ["fig5", "ablation-partition"]
+    root = tmp_path / "cache"
+
+    def run(**kw):
+        with E.configured(**kw) as (_, cache):
+            results = [E.ALL_EXPERIMENTS[name]() for name in picks]
+        return results, cache
+
+    base, _ = run()
+    fanned, _ = run(jobs=2, cache=root)
+    before = E.SIM_CALLS
+    warm, cache = run(cache=root)
+    for a, b, c in zip(base, fanned, warm):
+        assert a.text == b.text == c.text
+        assert a.checks == b.checks == c.checks
+    # The warm run must replay >= 90% of sim calls from the cache.
+    assert cache.hits / cache.lookups >= 0.9
+    assert E.SIM_CALLS == before  # and in fact re-simulated nothing

@@ -1,0 +1,101 @@
+"""Vectorized partition solvers vs their scalar counterparts.
+
+The batch solvers promise element-for-element agreement with the scalar
+equations (same operation order, so exact equality, checked here to a
+1e-9 relative tolerance as the acceptance bar and to exact equality
+where the arithmetic is literally identical)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.partition import (
+    balance_flops,
+    balance_flops_batch,
+    balance_with_transfer,
+    balance_with_transfer_batch,
+    lu_stripe_times,
+    lu_stripe_times_batch,
+)
+
+N_POINTS = 1000
+
+
+@pytest.fixture(scope="module")
+def params() -> SystemParameters:
+    # Cray XD1-like numbers, constructed directly so the test does not
+    # depend on the preset plumbing.
+    return SystemParameters(
+        p=6,
+        o_f=8,
+        f_f=130e6,
+        cpu_flops=2.2e9,
+        b_d=1.6e9,
+        b_n=1.0e9,
+        f_p=2.2e9,
+        sram_bytes=8 << 20,
+    )
+
+
+@pytest.fixture(scope="module")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20070326)  # IPDPS 2007, why not
+
+
+def test_balance_flops_batch_matches_scalar(params, rng):
+    totals = rng.uniform(0.0, 1e13, size=N_POINTS)
+    batch = balance_flops_batch(totals, params)
+    for i, total in enumerate(totals):
+        split = balance_flops(float(total), params)
+        assert batch.n_p[i] == pytest.approx(split.n_p, rel=1e-9, abs=1e-9)
+        assert batch.n_f[i] == pytest.approx(split.n_f, rel=1e-9, abs=1e-9)
+        assert batch.t_p[i] == pytest.approx(split.t_p, rel=1e-9, abs=1e-9)
+        assert batch.t_f[i] == pytest.approx(split.t_f, rel=1e-9, abs=1e-9)
+
+
+def test_balance_with_transfer_batch_matches_scalar(params, rng):
+    totals = rng.uniform(0.0, 1e13, size=N_POINTS)
+    d_f = rng.uniform(0.0, 1e10, size=N_POINTS)
+    batch = balance_with_transfer_batch(totals, d_f, params)
+    for i in range(N_POINTS):
+        split = balance_with_transfer(float(totals[i]), float(d_f[i]), params)
+        assert batch.n_p[i] == pytest.approx(split.n_p, rel=1e-9, abs=1e-9)
+        assert batch.n_f[i] == pytest.approx(split.n_f, rel=1e-9, abs=1e-9)
+        assert batch.t_transfer[i] == split.t_transfer  # identical arithmetic
+        assert batch.makespan[i] == pytest.approx(split.makespan, rel=1e-9)
+
+
+def test_balance_with_transfer_batch_broadcasts(params):
+    batch = balance_with_transfer_batch(np.full(5, 1e12), 8e8, params)
+    assert batch.n_f.shape == (5,)
+    assert np.all(batch.t_transfer == 8e8 / params.b_d)
+
+
+def test_batch_totals_conserved(params, rng):
+    totals = rng.uniform(0.0, 1e13, size=N_POINTS)
+    batch = balance_flops_batch(totals, params)
+    np.testing.assert_allclose(batch.total, totals, rtol=1e-12)
+    assert np.all(batch.n_p >= 0) and np.all(batch.n_f >= 0)
+
+
+def test_lu_stripe_times_batch_matches_scalar(params, rng):
+    b, k = 3000, 8
+    b_fs = rng.integers(0, b + 1, size=N_POINTS)
+    t_p, t_f, t_comm, t_mem = lu_stripe_times_batch(b, b_fs, k, params)
+    for i, b_f in enumerate(b_fs):
+        s_p, s_f, s_comm, s_mem = lu_stripe_times(b, int(b_f), k, params)
+        assert t_p[i] == s_p  # identical operation order => exact
+        assert t_f[i] == s_f
+        assert t_comm[i] == s_comm
+        assert t_mem[i] == s_mem
+
+
+def test_batch_solvers_reject_bad_inputs(params):
+    with pytest.raises(ValueError):
+        balance_flops_batch(np.array([1.0, -1.0]), params)
+    with pytest.raises(ValueError):
+        balance_with_transfer_batch(np.array([1.0]), np.array([-1.0]), params)
+    with pytest.raises(ValueError):
+        lu_stripe_times_batch(3000, np.array([3001.0]), 8, params)
