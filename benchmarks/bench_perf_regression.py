@@ -7,6 +7,12 @@ compared (see docs/performance.md for reference numbers and what a
 regression looks like).
 
 Run:  python benchmarks/bench_perf_regression.py [--jobs N] [--rounds R] [--quick]
+
+``--check-baseline`` re-times only the DES benches (instrumentation
+disabled -- no monitor attached, the default) and fails if any falls
+more than ``--tolerance`` (default 2%) below the recorded baseline.
+This is the guard that keeps the observability layer's no-op path off
+the simulator's hot loop.
 """
 
 from __future__ import annotations
@@ -125,6 +131,39 @@ def _sweep_point_count() -> int:
     return 16 + 6 + 13 + 5  # fig5 b_f grid, fig6 l grid, fig7 l1 grid, fig8 n/b grid
 
 
+def check_baseline(baseline_path: Path, rounds: int, tolerance: float) -> int:
+    """Assert DES throughput is within ``tolerance`` of the baseline.
+
+    The benches run with no monitor attached, i.e. the configuration the
+    zero-overhead claim is about; best-of-``rounds`` damps scheduler
+    noise.  Returns 0 when every bench clears
+    ``baseline * (1 - tolerance)``, 1 otherwise.
+    """
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; run without --check-baseline first")
+        return 2
+    baseline = json.loads(baseline_path.read_text())["des_events_per_s"]
+    failures = []
+    for name, fn in DES_BENCHES.items():
+        best = 0.0
+        for _ in range(max(1, rounds)):
+            best = max(best, fn())
+        ref = baseline[name]
+        floor = ref * (1.0 - tolerance)
+        ok = best >= floor
+        print(
+            f"des/{name:10s} {best:>12,.0f} events/s  "
+            f"(baseline {ref:,.0f}, floor {floor:,.0f}) {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(name)
+    if failures:
+        print(f"throughput regression (> {tolerance:.0%} below baseline): {failures}")
+        return 1
+    print(f"all DES benches within {tolerance:.0%} of baseline")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -144,7 +183,23 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_perf.json",
         help="where to write the results JSON",
     )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="compare DES throughput against the recorded baseline instead "
+        "of rewriting it; non-zero exit on a regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="allowed fractional shortfall vs baseline for --check-baseline "
+        "(default 0.02 = 2%%)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check_baseline:
+        return check_baseline(args.output, args.rounds, args.tolerance)
 
     scale = 10 if args.quick else 1
     des: dict[str, float] = {}

@@ -68,9 +68,16 @@ class FwDesign:
             n=self.n, b=self.b, k=self.k, l1=l1, l2=self.ops_per_phase - l1, **over
         )
 
-    def simulate(self, **over) -> FwSimResult:
-        """Simulate the planned hybrid design."""
-        return simulate_fw(self.spec, self.config(**over), design=self.design)
+    def simulate(self, trace: bool = False, monitor=None, **over) -> FwSimResult:
+        """Simulate the planned hybrid design.
+
+        ``trace=True`` records per-lane busy intervals (needed for the
+        Chrome-trace export and :meth:`overlap_report`); ``monitor`` is
+        an optional :class:`repro.sim.SimMonitor` for DES internals.
+        """
+        return simulate_fw(
+            self.spec, self.config(**over), design=self.design, trace=trace, monitor=monitor
+        )
 
     def simulate_cpu_only(self, **over) -> FwSimResult:
         """The Processor-only baseline (every task on the CPU)."""
@@ -81,6 +88,32 @@ class FwDesign:
     def simulate_fpga_only(self, **over) -> FwSimResult:
         """The FPGA-only baseline (every task on the FPGA)."""
         return simulate_fw(self.spec, self.config(l1=0, **over), design=self.design)
+
+    def overlap_report(self, result: Optional[FwSimResult] = None, registry=None, **over):
+        """Reconcile a simulated run against the plan's max{T_tp, T_tf}.
+
+        FW simulates ``iterations`` iterations and extrapolates, so the
+        reconciled makespan is :attr:`FwSimResult.total_elapsed`; the
+        trace only covers the simulated window, which is passed as
+        ``window`` so per-resource utilisation stays meaningful.
+        """
+        from ...obs import reconcile
+
+        if result is None:
+            result = self.simulate(trace=True, **over)
+        return reconcile(
+            "fw",
+            result.total_elapsed,
+            self.plan.prediction,
+            trace=result.trace,
+            window=result.elapsed,
+            registry=registry,
+            n=self.n,
+            b=self.b,
+            p=self.spec.p,
+            iterations_run=result.iterations_run,
+            gflops=result.gflops,
+        )
 
     def compare(self, **over) -> FwComparison:
         """Hybrid vs both baselines plus the model prediction (Figure 9)."""

@@ -105,11 +105,18 @@ def simulate_fw(
     design: Optional[FloydWarshallDesign] = None,
     trace: bool = False,
     node_specs: Optional[list] = None,
+    monitor: Optional[object] = None,
 ) -> FwSimResult:
-    """Run the distributed blocked-FW schedule on a simulated machine."""
+    """Run the distributed blocked-FW schedule on a simulated machine.
+
+    ``monitor`` is an optional :class:`repro.sim.SimMonitor`; attaching
+    one records DES internals at the cost of the counting run loop.
+    """
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
         system.sim.trace = None
+    if monitor is not None:
+        system.sim.attach_monitor(monitor)
     if design is None:
         design = FloydWarshallDesign.for_device(spec.node.fpga.device, k=config.k)
     system.configure_fpgas(lambda: design)

@@ -86,9 +86,16 @@ class LuDesign:
             **over,
         )
 
-    def simulate(self, **over) -> LuSimResult:
-        """Simulate the planned hybrid design."""
-        return simulate_lu(self.spec, self.config(**over), design=self.design)
+    def simulate(self, trace: bool = False, monitor=None, **over) -> LuSimResult:
+        """Simulate the planned hybrid design.
+
+        ``trace=True`` records per-lane busy intervals (needed for the
+        Chrome-trace export and :meth:`overlap_report`); ``monitor`` is
+        an optional :class:`repro.sim.SimMonitor` for DES internals.
+        """
+        return simulate_lu(
+            self.spec, self.config(**over), design=self.design, trace=trace, monitor=monitor
+        )
 
     def simulate_cpu_only(self, **over) -> LuSimResult:
         """The Processor-only baseline (b_f = 0)."""
@@ -97,6 +104,30 @@ class LuDesign:
     def simulate_fpga_only(self, **over) -> LuSimResult:
         """The FPGA-only baseline (b_f = b)."""
         return simulate_lu(self.spec, self.config(b_f=self.b, **over), design=self.design)
+
+    def overlap_report(self, result: Optional[LuSimResult] = None, registry=None, **over):
+        """Reconcile a simulated run against the plan's max{T_tp, T_tf}.
+
+        Simulates with tracing when no ``result`` is given (a result
+        without a trace still reconciles, just without per-resource
+        busy-time breakdown).  Returns an
+        :class:`repro.obs.OverlapReport` and publishes its gauges.
+        """
+        from ...obs import reconcile
+
+        if result is None:
+            result = self.simulate(trace=True, **over)
+        return reconcile(
+            "lu",
+            result.elapsed,
+            self.plan.prediction,
+            trace=result.trace,
+            registry=registry,
+            n=self.n,
+            b=self.b,
+            p=self.spec.p,
+            gflops=result.gflops,
+        )
 
     def compare(self, **over) -> LuComparison:
         """Hybrid vs both baselines plus the model prediction (Figure 9)."""

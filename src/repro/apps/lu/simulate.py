@@ -136,11 +136,19 @@ def simulate_lu(
     design: Optional[MatrixMultiplyDesign] = None,
     trace: bool = False,
     node_specs: Optional[list] = None,
+    monitor: Optional[object] = None,
 ) -> LuSimResult:
-    """Run the distributed LU schedule on a simulated machine."""
+    """Run the distributed LU schedule on a simulated machine.
+
+    ``monitor`` is an optional :class:`repro.sim.SimMonitor`; attaching
+    one records DES internals (event counts, calendar-bucket depths) at
+    the cost of the slower counting run loop.
+    """
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
         system.sim.trace = None
+    if monitor is not None:
+        system.sim.attach_monitor(monitor)
     if design is None:
         design = MatrixMultiplyDesign.for_device(spec.node.fpga.device, k=config.k)
     system.configure_fpgas(lambda: design)

@@ -61,8 +61,41 @@ class MmDesign:
             n=self.n, k=self.k, m_f=self.plan.m_f if m_f is None else m_f, **over
         )
 
-    def simulate(self, trace: bool = False, **over) -> MmSimResult:
-        return simulate_mm(self.spec, self.config(**over), design=self.design, trace=trace)
+    def simulate(self, trace: bool = False, monitor=None, **over) -> MmSimResult:
+        return simulate_mm(
+            self.spec, self.config(**over), design=self.design, trace=trace, monitor=monitor
+        )
+
+    def overlap_report(self, result: Optional[MmSimResult] = None, registry=None, **over):
+        """Reconcile a simulated run against ``p x`` the step makespan.
+
+        MM's model is per ring step rather than a whole-run T_tp/T_tf
+        pair, so the totals are the per-step paths times ``p`` steps:
+        processor path ``t_p + t_mem + t_net``, FPGA path ``t_f`` --
+        ``max`` of the two recovers :attr:`predicted_gflops`'s latency.
+        """
+        from types import SimpleNamespace
+
+        from ...obs import reconcile
+
+        if result is None:
+            result = self.simulate(trace=True, **over)
+        p = self.spec.p
+        plan = self.plan
+        prediction = SimpleNamespace(
+            t_tp=p * (plan.t_p + plan.t_mem + plan.t_net),
+            t_tf=p * plan.t_f,
+        )
+        return reconcile(
+            "mm",
+            result.elapsed,
+            prediction,
+            trace=result.trace,
+            registry=registry,
+            n=self.n,
+            p=p,
+            gflops=result.gflops,
+        )
 
     def simulate_cpu_only(self, trace: bool = False, **over) -> MmSimResult:
         return simulate_mm(self.spec, self.config(m_f=0, **over), design=self.design, trace=trace)

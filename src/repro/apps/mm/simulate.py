@@ -80,11 +80,18 @@ def simulate_mm(
     design: Optional[MatrixMultiplyDesign] = None,
     trace: bool = False,
     node_specs: Optional[list] = None,
+    monitor: Optional[object] = None,
 ) -> MmSimResult:
-    """Run the ring-allgather MM schedule on a simulated machine."""
+    """Run the ring-allgather MM schedule on a simulated machine.
+
+    ``monitor`` is an optional :class:`repro.sim.SimMonitor`; attaching
+    one records DES internals at the cost of the counting run loop.
+    """
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
         system.sim.trace = None
+    if monitor is not None:
+        system.sim.attach_monitor(monitor)
     if design is None:
         design = MatrixMultiplyDesign.for_device(spec.node.fpga.device, k=config.k)
     system.configure_fpgas(lambda: design)

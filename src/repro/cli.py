@@ -7,11 +7,19 @@ Runs the paper's experiments from the shell::
     repro-xd1 plan-lu --n 30000  # just the design-model decisions
     repro-xd1 plan-fw --n 92160
     repro-xd1 machines           # predicted performance across presets
+
+Any ``lu``/``fw`` run also accepts ``--trace-out timeline.json`` (a
+Chrome ``trace_event`` timeline of the simulated lanes plus harness
+wall-clock spans) and ``--metrics-out metrics.jsonl`` (counters, gauges,
+histograms and the overlap-accounting report).  ``repro-xd1 obs
+summary`` pretty-prints a metrics file; ``repro-xd1 obs check`` gates on
+``overlap_efficiency`` (schema: docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import bar_chart, percent, table
@@ -21,7 +29,57 @@ from .hw import FloydWarshallDesign, MatrixMultiplyDesign
 from .machine import ALL_PRESETS, cray_xd1
 
 
+def _obs_enabled(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace_out", None) or getattr(args, "metrics_out", None))
+
+
+def _obs_run(args: argparse.Namespace, app: str, design) -> None:
+    """The ``--trace-out`` / ``--metrics-out`` tail of an app command.
+
+    Runs one *traced* hybrid simulation with a DES monitor attached,
+    reconciles it against the plan's prediction, and writes whichever
+    exports were requested.
+    """
+    from .obs import REGISTRY, get_tracer, write_chrome_trace, write_metrics_jsonl
+    from .sim import SimMonitor
+
+    tracer = get_tracer()
+    monitor = SimMonitor()
+    with tracer.span(f"{app}.traced_run", category="cli", n=args.n, p=args.p):
+        result = design.simulate(trace=True, monitor=monitor)
+    report = design.overlap_report(result=result)
+    monitor.to_registry(REGISTRY, app=app)
+    print(report.summary())
+    if args.trace_out:
+        path = write_chrome_trace(
+            args.trace_out, sim_trace=result.trace,
+            spans=tracer.spans, span_epoch=tracer.epoch,
+        )
+        print(f"trace written to {path} (chrome://tracing / Perfetto)")
+    if args.metrics_out:
+        path = write_metrics_jsonl(
+            args.metrics_out, REGISTRY, overlap=[report],
+            extra={"app": app, "n": args.n, "b": getattr(args, "b", None), "p": args.p},
+        )
+        print(f"metrics written to {path}")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event timeline of a traced hybrid run",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write metrics JSON-lines (counters, histograms, overlap report)",
+    )
+
+
 def _cmd_lu(args: argparse.Namespace) -> None:
+    if _obs_enabled(args):
+        from .obs import Tracer, set_tracer
+
+        set_tracer(Tracer())
     design = LuDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
     plan = design.plan
     print(f"plan: b_p={plan.partition.b_p} b_f={plan.partition.b_f} l={plan.balance.l} "
@@ -37,9 +95,15 @@ def _cmd_lu(args: argparse.Namespace) -> None:
     print(f"speedup vs FPGA-only : {cmp.speedup_vs_fpga:.2f}x (paper: 2x)")
     print(f"of baseline sum      : {percent(cmp.fraction_of_sum)} (paper: ~80%)")
     print(f"of model prediction  : {percent(cmp.fraction_of_predicted)} (paper: ~86%)")
+    if _obs_enabled(args):
+        _obs_run(args, "lu", design)
 
 
 def _cmd_fw(args: argparse.Namespace) -> None:
+    if _obs_enabled(args):
+        from .obs import Tracer, set_tracer
+
+        set_tracer(Tracer())
     design = FwDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
     plan = design.plan
     print(f"plan: l1={plan.partition.l1} l2={plan.partition.l2} "
@@ -55,6 +119,8 @@ def _cmd_fw(args: argparse.Namespace) -> None:
     print(f"speedup vs FPGA-only : {cmp.speedup_vs_fpga:.2f}x (paper: 1.15x)")
     print(f"of baseline sum      : {percent(cmp.fraction_of_sum)} (paper: >95%)")
     print(f"of model prediction  : {percent(cmp.fraction_of_predicted)} (paper: ~96%)")
+    if _obs_enabled(args):
+        _obs_run(args, "fw", design)
 
 
 def _cmd_plan_lu(args: argparse.Namespace) -> None:
@@ -127,12 +193,14 @@ def main(argv: list[str] | None = None) -> int:
     lu.add_argument("--n", type=int, default=30000)
     lu.add_argument("--b", type=int, default=3000)
     lu.add_argument("--p", type=int, default=6)
+    _add_obs_flags(lu)
     lu.set_defaults(fn=_cmd_lu)
 
     fw = sub.add_parser("fw", help="headline FW comparison (Fig. 9 right)")
     fw.add_argument("--n", type=int, default=92160)
     fw.add_argument("--b", type=int, default=256)
     fw.add_argument("--p", type=int, default=6)
+    _add_obs_flags(fw)
     fw.set_defaults(fn=_cmd_fw)
 
     plu = sub.add_parser("plan-lu", help="LU design-model decisions only")
@@ -168,10 +236,31 @@ def main(argv: list[str] | None = None) -> int:
         help="result-cache directory ('off' disables; "
         "default: $REPRO_CACHE or no cache)",
     )
+    _add_obs_flags(exp)
     exp.set_defaults(fn=_cmd_experiments)
 
+    obs = sub.add_parser("obs", help="inspect / gate metrics files")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    osum = obs_sub.add_parser("summary", help="pretty-print a metrics JSON-lines file")
+    osum.add_argument("--metrics", required=True, metavar="PATH")
+    osum.set_defaults(fn=_cmd_obs_summary)
+    ochk = obs_sub.add_parser(
+        "check", help="fail unless every overlap report meets the efficiency floor"
+    )
+    ochk.add_argument("--metrics", required=True, metavar="PATH")
+    ochk.add_argument("--min", type=float, default=0.85, dest="minimum",
+                      help="overlap_efficiency floor (default 0.85)")
+    ochk.add_argument("--app", default=None, help="only check this app's reports")
+    ochk.set_defaults(fn=_cmd_obs_check)
+
     args = parser.parse_args(argv)
-    result = args.fn(args)
+    try:
+        result = args.fn(args)
+    except BrokenPipeError:
+        # e.g. `repro-xd1 obs summary ... | head`; silence the flush-at-exit
+        # error too by pointing stdout at devnull.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return int(result) if isinstance(result, int) else 0
 
 
@@ -181,8 +270,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return validate_main()
 
 
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    from .obs import metrics_summary, read_metrics_jsonl
+
+    print(metrics_summary(read_metrics_jsonl(args.metrics)))
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from .obs import read_metrics_jsonl
+
+    reports = [
+        rec for rec in read_metrics_jsonl(args.metrics)
+        if rec.get("kind") == "overlap" and (args.app is None or rec.get("app") == args.app)
+    ]
+    if not reports:
+        which = f" for app {args.app!r}" if args.app else ""
+        print(f"error: no overlap reports{which} in {args.metrics}")
+        return 2
+    failed = 0
+    for rec in reports:
+        eff = rec["overlap_efficiency"]
+        ok = eff >= args.minimum
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {rec['app']}: overlap_efficiency {eff:.4f} "
+              f"(floor {args.minimum:.2f})")
+        failed += 0 if ok else 1
+    return 1 if failed else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments import ALL_EXPERIMENTS, configured
+    from .experiments import ALL_EXPERIMENTS, active_cache, configured
     from .parallel import resolve_jobs
 
     if args.only:
@@ -202,6 +320,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
+    if _obs_enabled(args):
+        from .obs import Tracer, set_tracer
+
+        set_tracer(Tracer())
     failed = []
     with configured(jobs=args.jobs, cache=cache):
         for name, fn in selected.items():
@@ -212,6 +334,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print()
             if not result.ok:
                 failed.append(name)
+        run_cache = active_cache()
+        if run_cache is not None:
+            print(run_cache.footer())
+    if _obs_enabled(args):
+        from .obs import REGISTRY, get_tracer, write_chrome_trace, write_metrics_jsonl
+
+        tracer = get_tracer()
+        if args.trace_out:
+            path = write_chrome_trace(
+                args.trace_out, spans=tracer.spans, span_epoch=tracer.epoch
+            )
+            print(f"trace written to {path} (chrome://tracing / Perfetto)")
+        if args.metrics_out:
+            path = write_metrics_jsonl(
+                args.metrics_out, REGISTRY,
+                extra={"command": "experiments", "only": args.only},
+            )
+            print(f"metrics written to {path}")
     if failed:
         print(f"FAILED checks in: {failed}")
         return 1

@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY
 from .parameters import SystemParameters
+
+#: Solver-call counters, resolved once at import (hot sweeps call these
+#: per design point; the per-call cost must stay one float add).
+_SOLVES_BALANCE = REGISTRY.counter("partition.solves", kind="balance")
+_SOLVES_LU = REGISTRY.counter("partition.solves", kind="lu_stripe")
+_SOLVES_FW = REGISTRY.counter("partition.solves", kind="fw")
 
 __all__ = [
     "FlopSplit",
@@ -76,6 +83,7 @@ def _clamped_split(total_flops: float, fpga_lead: float, params: SystemParameter
     """
     if total_flops < 0:
         raise ValueError(f"negative workload: {total_flops}")
+    _SOLVES_BALANCE.inc()
     cpu, fpga = params.cpu_flops, params.fpga_flops
     # N_f/fpga - (N - N_f)/cpu = lead  =>  N_f (1/fpga + 1/cpu) = lead + N/cpu
     n_f = (fpga_lead + total_flops / cpu) / (1.0 / fpga + 1.0 / cpu)
@@ -184,6 +192,7 @@ def balance_flops_batch(total_flops: np.ndarray, params: SystemParameters) -> Fl
     total = np.asarray(total_flops, dtype=np.float64)
     if np.any(total < 0):
         raise ValueError("negative workload in batch")
+    _SOLVES_BALANCE.inc(total.size)
     n_p, n_f = _clamped_split_batch(total, 0.0, params)
     zeros = np.zeros_like(total)
     return FlopSplitBatch(
@@ -207,6 +216,7 @@ def balance_with_transfer_batch(
         raise ValueError("negative workload in batch")
     if np.any(d_f < 0):
         raise ValueError("negative transfer size in batch")
+    _SOLVES_BALANCE.inc(total.size)
     t_transfer = d_f / params.b_d  # dram_time, element-wise
     n_p, n_f = _clamped_split_batch(total, t_transfer, params)
     return FlopSplitBatch(
@@ -316,6 +326,7 @@ def lu_stripe_partition(
         raise ValueError(f"b and k must be positive, got b={b}, k={k}")
     if b % k:
         raise ValueError(f"b={b} must be a multiple of k={k}")
+    _SOLVES_LU.inc()
     cpu = params.cpu_flops
     # T_f(b_f) = T_comm + T_mem(b_f) + T_p(b - b_f); linear in b_f:
     #   b_f * [b/((p-1)F_f)]  =  2 b k b_w/B_n
@@ -421,6 +432,7 @@ def fw_partition(n: int, b: int, k: int, params: SystemParameters) -> FwPartitio
             f"each node must own an integer number of block columns: "
             f"n/(b*p) = {n}/({b}*{p}) is not a positive integer"
         )
+    _SOLVES_FW.inc()
     t_p, t_f, t_comm, t_mem = fw_op_times(b, k, params)
     # l1 (T_p + T_f - T_mem) = total (T_f - T_mem) - T_comm
     effective = t_f - t_mem

@@ -28,11 +28,13 @@ from .core import DesignModel, balance_flops, lu_stripe_partition
 from .hw import FloydWarshallDesign, MatrixMultiplyDesign
 from .kernels.flops import getrf_flops, trsm_flops
 from .machine import ALL_PRESETS, cray_xd1
+from .obs import REGISTRY, get_tracer
 from .parallel import ResultCache, SweepExecutor, cache_from_env
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "active_cache",
     "ablation_blocksize",
     "ablation_overlap",
     "ablation_partition",
@@ -120,6 +122,15 @@ def configured(jobs: Any = None, cache: Any = None):
         _EXECUTOR, _CACHE = prev
 
 
+def active_cache() -> Optional[ResultCache]:
+    """The result cache of the current :func:`configured` block, if any.
+
+    The CLI uses this to print the cache footer (hits/misses/stores)
+    after an ``experiments`` run.
+    """
+    return _CACHE
+
+
 def _spec_for(machine: str):
     """Machine specs by task key (presets plus the ablation variants)."""
     if machine == "xd1-slow-dram":
@@ -186,23 +197,29 @@ def _eval_sim_points(tasks: list[dict]) -> list[Any]:
     """Evaluate tasks through the active cache and executor, in order."""
     cache = _CACHE
     executor = _EXECUTOR
+    REGISTRY.counter("experiments.sim_points").inc(len(tasks))
     if cache is None:
-        if executor is not None:
-            return executor.map(_point_sim, tasks)
-        return [_point_sim(t) for t in tasks]
+        with get_tracer().span("eval_sim_points", category="sweep", tasks=len(tasks)):
+            if executor is not None:
+                return executor.map(_point_sim, tasks)
+            return [_point_sim(t) for t in tasks]
     values: list[Any] = [None] * len(tasks)
     misses: list[int] = []
-    for i, task in enumerate(tasks):
-        entry = cache.get(task)
-        if entry is None:
-            misses.append(i)
-        else:
-            values[i] = entry["value"]
+    with get_tracer().span("cache.lookup_batch", category="cache", tasks=len(tasks)):
+        for i, task in enumerate(tasks):
+            entry = cache.get(task)
+            if entry is None:
+                misses.append(i)
+            else:
+                values[i] = entry["value"]
     if misses:
         todo = [tasks[i] for i in misses]
-        got = executor.map(_point_sim, todo) if executor is not None else [
-            _point_sim(t) for t in todo
-        ]
+        with get_tracer().span(
+            "eval_sim_points", category="sweep", tasks=len(todo), cached=len(tasks) - len(todo)
+        ):
+            got = executor.map(_point_sim, todo) if executor is not None else [
+                _point_sim(t) for t in todo
+            ]
         for i, value in zip(misses, got):
             cache.put(tasks[i], value)
             values[i] = value

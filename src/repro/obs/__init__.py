@@ -1,0 +1,56 @@
+"""Unified observability layer: metrics, spans, exporters, overlap accounting.
+
+The instrumentation substrate for the whole reproduction:
+
+* :mod:`repro.obs.metrics` -- a process-wide :class:`MetricsRegistry`
+  of labelled counters / gauges / histograms (:data:`REGISTRY`);
+* :mod:`repro.obs.tracing` -- wall-clock :class:`Span`/:class:`Tracer`
+  records for the harness side, with a zero-overhead disabled mode;
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto), metrics JSON-lines, and plain-text
+  summaries;
+* :mod:`repro.obs.overlap` -- reconciliation of simulated runs against
+  the model's ``max{T_tp, T_tf}`` prediction (``overlap_efficiency``,
+  the paper's ">85% of prediction" claim as a first-class metric).
+
+This package imports nothing from the rest of :mod:`repro`, so any
+layer -- the DES core's monitor, the partition solvers, the sweep
+executor -- can depend on it without cycles.  Schema documentation
+lives in ``docs/observability.md``.
+"""
+
+from .export import (
+    METRICS_SCHEMA,
+    chrome_trace_events,
+    metrics_summary,
+    read_metrics_jsonl,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .overlap import OverlapReport, busy_by_resource, reconcile
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OverlapReport",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "busy_by_resource",
+    "chrome_trace_events",
+    "get_registry",
+    "get_tracer",
+    "metrics_summary",
+    "read_metrics_jsonl",
+    "reconcile",
+    "set_tracer",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,253 @@
+"""Exporters: Chrome ``trace_event`` JSON, metrics JSON-lines, text summary.
+
+Three sinks for one run's telemetry:
+
+* :func:`write_chrome_trace` -- a ``chrome://tracing`` / Perfetto
+  timeline combining the *simulated* lane trace (one process per node,
+  one thread per lane) and the harness's *wall-clock* spans (process 0).
+  All simulated events are complete (``"ph": "X"``) events with
+  microsecond timestamps, emitted in nondecreasing ``ts`` order with
+  stable pid/tid assignment -- the golden test pins the format.
+* :func:`write_metrics_jsonl` -- one JSON object per line: a header
+  line, every registry series, and any overlap reports.  The CLI's
+  ``--metrics-out`` writes this; ``repro-xd1 obs summary`` reads it.
+* :func:`metrics_summary` -- a plain-text table of the same content for
+  terminals and CI logs.
+
+Schema reference: ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from .metrics import MetricsRegistry, REGISTRY
+from .overlap import OverlapReport
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "metrics_summary",
+]
+
+#: Current metrics-file schema version (bump on breaking changes).
+METRICS_SCHEMA = 1
+
+#: Stable thread ordering within a node's process in the Chrome trace.
+_LANE_ORDER = ("cpu", "fpga", "dram", "sram", "mpi", "net")
+
+_LANE_RE = re.compile(r"^([a-z_]+?)(\d+)(->)?$")
+
+
+def _lane_pid_tid(lane: str) -> tuple[int, int]:
+    """Deterministic (pid, tid) for a simulation trace lane.
+
+    ``cpu3`` -> process 4 (node 3; pid 0 is the harness), thread 0;
+    unknown lane bases sort after the known ones, alphabetically.
+    """
+    m = _LANE_RE.match(lane)
+    if m is None:
+        return (1, len(_LANE_ORDER))  # unparsable lane: node0 process, tail tid
+    base, node = m.group(1), int(m.group(2))
+    try:
+        tid = _LANE_ORDER.index(base)
+    except ValueError:
+        tid = len(_LANE_ORDER)
+    return (node + 1, tid)
+
+
+def _meta_event(pid: int, tid: Optional[int], name: str, value: str) -> dict[str, Any]:
+    ev: dict[str, Any] = {"name": name, "ph": "M", "pid": pid, "ts": 0, "args": {"name": value}}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def chrome_trace_events(
+    sim_trace: Any = None,
+    spans: Optional[Iterable[Any]] = None,
+    span_epoch: Optional[float] = None,
+) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list for a run.
+
+    ``sim_trace`` is a :class:`repro.sim.trace.Trace`; its intervals
+    become complete events on node processes 1..p in simulated
+    microseconds.  ``spans`` are :class:`repro.obs.tracing.Span` records
+    on process 0 in wall microseconds since ``span_epoch``.  Metadata
+    events naming every process/thread come first; payload events are
+    sorted by (ts, pid, tid) so consumers see nondecreasing timestamps.
+    """
+    events: list[dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
+    seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, int]] = set()
+
+    if sim_trace is not None:
+        for lane in sim_trace.lanes():
+            pid, tid = _lane_pid_tid(lane)
+            if pid not in seen_pids:
+                seen_pids.add(pid)
+                meta.append(_meta_event(pid, None, "process_name", f"node{pid - 1}"))
+            if (pid, tid) not in seen_tids:
+                seen_tids.add((pid, tid))
+                meta.append(_meta_event(pid, tid, "thread_name", lane))
+        for iv in sim_trace.intervals:
+            pid, tid = _lane_pid_tid(iv.category)
+            events.append(
+                {
+                    "name": iv.label,
+                    "cat": iv.category,
+                    "ph": "X",
+                    "ts": iv.start * 1e6,
+                    "dur": (iv.end - iv.start) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {k: v for k, v in iv.meta.items()},
+                }
+            )
+
+    span_list = list(spans) if spans is not None else []
+    if span_list:
+        meta.append(_meta_event(0, None, "process_name", "harness"))
+        meta.append(_meta_event(0, 0, "thread_name", "wall-clock"))
+        epoch = span_epoch if span_epoch is not None else min(sp.start for sp in span_list)
+        for sp in span_list:
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": sp.category,
+                    "ph": "X",
+                    "ts": (sp.start - epoch) * 1e6,
+                    "dur": (sp.end - sp.start) * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": dict(sp.args),
+                }
+            )
+
+    events.sort(key=lambda ev: (ev["ts"], ev["pid"], ev["tid"]))
+    return meta + events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    sim_trace: Any = None,
+    spans: Optional[Iterable[Any]] = None,
+    span_epoch: Optional[float] = None,
+) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    path = Path(path)
+    doc = {
+        "traceEvents": chrome_trace_events(sim_trace, spans, span_epoch),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "schema": METRICS_SCHEMA},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------- metrics
+
+
+def write_metrics_jsonl(
+    path: str | Path,
+    registry: Optional[MetricsRegistry] = None,
+    overlap: Optional[Iterable[OverlapReport]] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> Path:
+    """Write the metrics file: header line, then one JSON object per series."""
+    reg = registry if registry is not None else REGISTRY
+    path = Path(path)
+    lines = [{"kind": "header", "schema": METRICS_SCHEMA, **(extra or {})}]
+    lines.extend(reg.snapshot())
+    for report in overlap or ():
+        lines.append(report.to_dict())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def read_metrics_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a metrics file back into its records (header included)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON-lines ({exc})") from exc
+    return records
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def metrics_summary(
+    records_or_registry: Any = None,
+    overlap: Optional[Iterable[OverlapReport]] = None,
+) -> str:
+    """Plain-text summary table of metrics records or a live registry.
+
+    Accepts either the record list from :func:`read_metrics_jsonl` or a
+    :class:`MetricsRegistry` (default: the process registry).
+    """
+    if records_or_registry is None:
+        records_or_registry = REGISTRY
+    if isinstance(records_or_registry, MetricsRegistry):
+        records = list(records_or_registry.snapshot())
+        records.extend(r.to_dict() for r in overlap or ())
+    else:
+        records = [r for r in records_or_registry if r.get("kind") != "header"]
+
+    rows: list[tuple[str, str, str]] = []
+    overlaps: list[dict[str, Any]] = []
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "overlap":
+            overlaps.append(rec)
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in sorted(rec.get("labels", {}).items()))
+        name = rec["name"] + (f"{{{labels}}}" if labels else "")
+        if kind == "histogram":
+            value = (
+                f"count={rec['count']} mean={_fmt(rec['mean'])} "
+                f"p50={_fmt(rec['p50'])} p95={_fmt(rec['p95'])} max={_fmt(rec['max'])}"
+            )
+        else:
+            value = _fmt(rec.get("value"))
+        rows.append((kind or "?", name, value))
+
+    width = max((len(r[1]) for r in rows), default=10)
+    out = ["metric" + " " * (width - 2) + "value", "-" * (width + 30)]
+    for kind, name, value in rows:
+        out.append(f"{name:<{width + 2}} {value}")
+    if overlaps:
+        out.append("")
+        out.append("overlap accounting (predicted max{T_tp, T_tf} vs simulated):")
+        for rec in overlaps:
+            out.append(
+                f"  {rec['app']}: efficiency {rec['overlap_efficiency']:.4f} "
+                f"(simulated {_fmt(rec['simulated_makespan'])}s, "
+                f"T_tp {_fmt(rec['t_tp'])}s, T_tf {_fmt(rec['t_tf'])}s)"
+            )
+            util = rec.get("utilisation") or {}
+            if util:
+                out.append(
+                    "    utilisation: "
+                    + ", ".join(f"{k} {100 * v:.0f}%" for k, v in sorted(util.items()))
+                )
+    return "\n".join(out)

@@ -1,0 +1,211 @@
+"""Wall-clock span tracing for the harness and sweep engine.
+
+A :class:`Span` is a named wall-time interval with a category and
+arbitrary key/value arguments; a :class:`Tracer` collects them.  Spans
+cover the *host* side of a run (experiment functions, sweep batches,
+cache lookups); the *simulated* side is the
+:class:`repro.sim.trace.Trace` lane log.  Both export to the same
+Chrome ``trace_event`` timeline via :mod:`repro.obs.export`.
+
+Three usage forms::
+
+    with tracer.span("fig5", category="experiment", points=16):
+        ...
+
+    @tracer.trace("solve")
+    def solve(...): ...
+
+    span = tracer.begin("map"); ...; tracer.end(span)
+
+Disabled tracing is free: :data:`NULL_TRACER` reuses one inert span for
+every call, so instrumented code pays a method call and an empty
+``with`` block -- no allocation, no clock read, no list append.  The
+module-level default (:func:`get_tracer`) starts disabled; the CLI
+enables it for ``--trace-out`` runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+class Span:
+    """One named wall-clock interval; also its own context manager."""
+
+    __slots__ = ("tracer", "name", "category", "args", "start", "end", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.depth = 0
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.tracer._exit(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:.6f}s" if self.end is not None else "open"
+        return f"<Span {self.category}:{self.name} {state}>"
+
+
+class Tracer:
+    """Collects completed spans in start order, tracking nesting depth."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._depth = 0
+        #: Wall time of the first ``_enter``; Chrome export uses it as t=0.
+        self.epoch: Optional[float] = None
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, category: str = "harness", **args: Any) -> Span:
+        """A new unstarted span; use as a context manager."""
+        return Span(self, name, category, args)
+
+    def begin(self, name: str, category: str = "harness", **args: Any) -> Span:
+        """Imperative form: start a span now; pair with :meth:`end`."""
+        sp = Span(self, name, category, args)
+        self._enter(sp)
+        return sp
+
+    def end(self, span: Span) -> Span:
+        self._exit(span)
+        return span
+
+    def _enter(self, span: Span) -> None:
+        now = self.clock()
+        if self.epoch is None:
+            self.epoch = now
+        span.start = now
+        span.depth = self._depth
+        self._depth += 1
+
+    def _exit(self, span: Span) -> None:
+        span.end = self.clock()
+        self._depth -= 1
+        self.spans.append(span)
+
+    # -- decorator form -------------------------------------------------
+
+    def trace(self, name: Optional[str] = None, category: str = "harness") -> Callable:
+        """Decorator: wrap a function in a span named after it."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*a, **kw):
+                with self.span(span_name, category=category):
+                    return fn(*a, **kw)
+
+            return wrapper
+
+        return decorate
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_category(self, category: str) -> list[Span]:
+        return [sp for sp in self.spans if sp.category == category]
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._depth = 0
+        self.epoch = None
+
+
+class _NullSpan:
+    """The inert span: enter/exit do nothing, one instance serves all."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is constant-time and allocation-free."""
+
+    enabled = False
+    spans: list = []  # always empty; shared read-only sentinel
+
+    def span(self, name: str, category: str = "harness", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, name: str, category: str = "harness", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end(self, span: Any) -> Any:
+        return span
+
+    def trace(self, name: Optional[str] = None, category: str = "harness") -> Callable:
+        """Decorator form: returns the function unchanged (zero overhead)."""
+
+        def decorate(fn: Callable) -> Callable:
+            return fn
+
+        return decorate
+
+    def __len__(self) -> int:
+        return 0
+
+    def by_category(self, category: str) -> list:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared disabled tracer; safe to hand to any component.
+NULL_TRACER = NullTracer()
+
+_TRACER: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (disabled unless :func:`set_tracer` ran)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the process-wide tracer; returns the previous."""
+    global _TRACER
+    prev = _TRACER
+    _TRACER = tracer
+    return prev

@@ -21,6 +21,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from ..obs.metrics import REGISTRY
 from .grid import canonical_json
 
 __all__ = ["CODE_SALT", "ResultCache", "cache_from_env"]
@@ -58,6 +59,14 @@ class ResultCache:
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        # Mirror the counters into the process registry so cache health
+        # shows up in every metrics export without plumbing the instance.
+        self._m_hits = REGISTRY.counter("cache.hits", layer="result_cache")
+        self._m_misses = REGISTRY.counter("cache.misses", layer="result_cache")
+        self._m_puts = REGISTRY.counter("cache.puts", layer="result_cache")
+        self._m_evictions = REGISTRY.counter("cache.evictions", layer="result_cache")
 
     # -- keys -----------------------------------------------------------
 
@@ -80,8 +89,10 @@ class ResultCache:
                 entry = json.load(fh)
         except (FileNotFoundError, json.JSONDecodeError):
             self.misses += 1
+            self._m_misses.inc()
             return None
         self.hits += 1
+        self._m_hits.inc()
         return entry
 
     def put(self, payload: Any, value: Any) -> None:
@@ -95,6 +106,8 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh)
             os.replace(tmp, path)
+            self.puts += 1
+            self._m_puts.inc()
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -118,7 +131,10 @@ class ResultCache:
     # -- maintenance ----------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry; returns the number of files removed.
+
+        Each removed file counts as an eviction in :attr:`stats`.
+        """
         removed = 0
         if not self.root.is_dir():
             return 0
@@ -128,12 +144,33 @@ class ResultCache:
             for path in sub.glob("*.json"):
                 path.unlink()
                 removed += 1
+        self.evictions += removed
+        self._m_evictions.inc(removed)
         return removed
 
     @property
     def stats(self) -> dict[str, int]:
-        """Lookup/hit/miss counters since construction."""
-        return {"lookups": self.lookups, "hits": self.hits, "misses": self.misses}
+        """Lookup/hit/miss/put/evict counters since construction."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 before the first lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def footer(self) -> str:
+        """One-line run summary for CLI output."""
+        return (
+            f"cache {self.root}: {self.lookups} lookups, {self.hits} hits "
+            f"({100 * self.hit_rate:.0f}%), {self.misses} misses, "
+            f"{self.puts} stored, {self.evictions} evicted"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ResultCache {self.root} salt={self.salt!r} {self.stats}>"

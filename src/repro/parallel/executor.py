@@ -18,8 +18,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import get_tracer
 
 __all__ = ["SweepExecutor", "resolve_jobs"]
 
@@ -90,6 +94,7 @@ class SweepExecutor:
         """
         items: Sequence[T] = values if isinstance(values, Sequence) else list(values)
         n = len(items)
+        tracer = get_tracer()
         if (
             self.jobs <= 1
             or n < self.jobs * MIN_POINTS_PER_JOB
@@ -97,14 +102,42 @@ class SweepExecutor:
             or not _is_picklable(fn)
         ):
             self.last_mode = "serial"
-            return [fn(v) for v in items]
+            # Per-task latency is only observable serially; in the pool
+            # path tasks run in worker interpreters and we record the
+            # batch instead.  Task granularity is a whole simulation, so
+            # the two clock reads per task are noise.
+            task_hist = REGISTRY.histogram("sweep.task_seconds", mode="serial")
+            results = []
+            with tracer.span("sweep.map", category="sweep", mode="serial", tasks=n):
+                for v in items:
+                    t0 = time.perf_counter()
+                    results.append(fn(v))
+                    task_hist.observe(time.perf_counter() - t0)
+            REGISTRY.counter("sweep.tasks", mode="serial").inc(n)
+            REGISTRY.counter("sweep.maps", mode="serial").inc()
+            return results
         self.last_mode = "parallel"
         workers = min(self.jobs, n)
         # Chunk so each worker gets a few batches (load balancing) without
         # per-point IPC overhead.
         chunksize = max(1, -(-n // (workers * 4)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+        t0 = time.perf_counter()
+        with tracer.span("sweep.map", category="sweep", mode="parallel", tasks=n,
+                         workers=workers, chunksize=chunksize):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(fn, items, chunksize=chunksize))
+        elapsed = time.perf_counter() - t0
+        REGISTRY.counter("sweep.tasks", mode="parallel").inc(n)
+        REGISTRY.counter("sweep.maps", mode="parallel").inc()
+        REGISTRY.gauge("sweep.workers").max(workers)
+        if elapsed > 0:
+            # Throughput-derived mean task latency: the per-worker wall
+            # share, our utilisation proxy for the pool path.
+            REGISTRY.histogram("sweep.task_seconds", mode="parallel").observe(
+                elapsed * workers / n
+            )
+            REGISTRY.gauge("sweep.last_points_per_s").set(n / elapsed)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SweepExecutor jobs={self.jobs}>"

@@ -16,6 +16,7 @@ from .core import (
     Simulator,
     Timeout,
 )
+from .monitor import SimMonitor
 from .resources import BandwidthChannel, Request, Resource, Store
 from .trace import CausalityViolation, Interval, Trace, merge
 
@@ -30,6 +31,7 @@ __all__ = [
     "ProcessFailure",
     "Request",
     "Resource",
+    "SimMonitor",
     "SimulationError",
     "Simulator",
     "Store",

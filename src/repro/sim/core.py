@@ -447,6 +447,17 @@ class Simulator:
         self._crashed: list[tuple[Process, BaseException]] = []
         self._timeout_pool: list[Timeout] = []
         self.trace = None  # set by callers that want tracing
+        self.monitor = None  # optional SimMonitor; None keeps run() on the fast loop
+
+    def attach_monitor(self, monitor: Any) -> Any:
+        """Route subsequent :meth:`run` calls through the counting loop.
+
+        ``monitor`` is a :class:`repro.sim.monitor.SimMonitor` (or any
+        object with its counter attributes).  Pass ``None`` to detach and
+        return to the uninstrumented fast loop.
+        """
+        self.monitor = monitor
+        return monitor
 
     # -- clock ----------------------------------------------------------
 
@@ -608,7 +619,11 @@ class Simulator:
         """
         # The `_step` body is inlined here with hoisted locals; at sweep
         # event rates the per-event method call and attribute loads are
-        # measurable.  Keep semantic changes mirrored in `_step`.
+        # measurable.  Keep semantic changes mirrored in `_step` and in
+        # `_run_monitored` (the counting twin used when a monitor is
+        # attached -- this one check is the entire disabled-path cost).
+        if self.monitor is not None:
+            return self._run_monitored(until)
         times = self._times
         buckets = self._buckets
         dq = self._dq
@@ -677,6 +692,88 @@ class Simulator:
                 # on the failed process event (its callbacks were drained).
                 raise ProcessFailure(f"process {proc.name!r} failed at t={self._now:g}") from exc
         return self._now
+
+    def _run_monitored(self, until: Optional[float] = None) -> float:
+        """The counting twin of :meth:`run` (same schedule semantics).
+
+        Updates the attached monitor per event: dispatch counts by event
+        class and source (calendar vs zero-delay deque), calendar-queue
+        occupancy high-water marks, and timeout-pool recycling.
+        """
+        mon = self.monitor
+        mon.run_calls += 1
+        times = self._times
+        buckets = self._buckets
+        dq = self._dq
+        crashed = self._crashed
+        pool = self._timeout_pool
+        by_type = mon.fired_by_type
+        horizon = float("inf") if until is None else until
+        while True:
+            if len(times) > mon.max_heap_len:
+                mon.max_heap_len = len(times)
+            from_calendar = False
+            if dq:
+                if times and times[0] <= self._now:
+                    event = self._pop_bucket_monitored(mon)
+                    from_calendar = True
+                else:
+                    event = dq.popleft()
+            elif times:
+                if times[0] > horizon:
+                    self._now = until
+                    break
+                event = self._pop_bucket_monitored(mon)
+                from_calendar = True
+            else:
+                break
+            mon.events_fired += 1
+            if from_calendar:
+                mon.calendar_events += 1
+            else:
+                mon.zero_delay_events += 1
+            cls = type(event).__name__
+            by_type[cls] = by_type.get(cls, 0) + 1
+            event._processed = True
+            cb = event._cb
+            if cb is not None:
+                event._cb = None
+                cb(event)
+            cbs = event.callbacks
+            if cbs:
+                event.callbacks = None
+                for fn in cbs:
+                    fn(event)
+            if type(event) is Timeout and getrefcount(event) == 2 and len(pool) < _TIMEOUT_POOL_CAP:
+                pool.append(event)
+                mon.timeouts_recycled += 1
+                if len(pool) > mon.pool_high_water:
+                    mon.pool_high_water = len(pool)
+            if crashed:
+                proc, exc = crashed[0]
+                raise ProcessFailure(f"process {proc.name!r} failed at t={self._now:g}") from exc
+        return self._now
+
+    def _pop_bucket_monitored(self, mon: Any) -> Event:
+        """:meth:`_pop_bucket`, recording the bucket depth at pop time."""
+        when = self._times[0]
+        buckets = self._buckets
+        b = buckets[when]
+        if type(b) is deque:
+            if len(b) > mon.max_bucket_depth:
+                mon.max_bucket_depth = len(b)
+            event = b.popleft()
+            if not b:
+                heappop(self._times)
+                del buckets[when]
+        else:
+            if mon.max_bucket_depth < 1:
+                mon.max_bucket_depth = 1
+            event = b
+            heappop(self._times)
+            del buckets[when]
+        self._now = when
+        return event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -94,6 +94,21 @@ class Trace:
         """Latest interval end (0 if empty)."""
         return max((iv.end for iv in self.intervals), default=0.0)
 
+    def utilisation(self, category: Optional[str] = None) -> dict[str, float] | float:
+        """Busy fraction of the makespan, per category (or one category).
+
+        Degenerate traces are well-defined rather than errors: an empty
+        trace, or one holding only zero-duration intervals (makespan 0),
+        yields 0.0 for every category -- never a ``ZeroDivisionError``.
+        """
+        horizon = self.makespan()
+        if category is not None:
+            return self.busy_time(category) / horizon if horizon > 0 else 0.0
+        return {
+            cat: (self.busy_time(cat) / horizon if horizon > 0 else 0.0)
+            for cat in self.lanes()
+        }
+
     def check_exclusive(self, categories: Optional[Iterable[str]] = None) -> None:
         """Assert that no two intervals overlap within each given category.
 

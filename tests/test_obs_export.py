@@ -1,0 +1,146 @@
+"""Exporter tests: Chrome trace_event format (with golden file), metrics
+JSON-lines round-trip, and the text summary."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.lu.simulate import LuSimConfig, simulate_lu
+from repro.machine.presets import cray_xd1
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    chrome_trace_events,
+    metrics_summary,
+    read_metrics_jsonl,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.overlap import reconcile
+from repro.obs.tracing import Tracer
+from repro.sim.trace import Trace
+
+GOLDEN = Path(__file__).parent / "golden" / "lu_p2_chrome_trace.json"
+
+
+@pytest.fixture(scope="module")
+def lu_p2_trace():
+    """A tiny deterministic LU run: 2 nodes, nb = 2."""
+    spec = cray_xd1(p=2)
+    cfg = LuSimConfig(n=6000, b=3000, k=8, b_f=1080, l=3)
+    return simulate_lu(spec, cfg, trace=True).trace
+
+
+# ------------------------------------------------------------ golden file
+
+
+def test_lu_p2_chrome_trace_matches_golden(lu_p2_trace, tmp_path):
+    """The simulated trace is bit-deterministic, so the exported Chrome
+    JSON must match the checked-in golden file exactly."""
+    path = write_chrome_trace(tmp_path / "trace.json", sim_trace=lu_p2_trace)
+    assert json.loads(path.read_text()) == json.loads(GOLDEN.read_text())
+
+
+def test_golden_trace_is_valid_trace_event_json(lu_p2_trace):
+    """Structural contract: nondecreasing ts, complete events only,
+    stable pid/tid assignment."""
+    events = chrome_trace_events(sim_trace=lu_p2_trace)
+    meta = [e for e in events if e["ph"] == "M"]
+    payload = [e for e in events if e["ph"] == "X"]
+    assert meta and payload
+    assert all(e["ph"] in ("M", "X") for e in events)
+    # metadata first, then payload sorted by timestamp
+    assert events[: len(meta)] == meta
+    ts = [e["ts"] for e in payload]
+    assert ts == sorted(ts)
+    assert all(e["dur"] >= 0 for e in payload)
+    # pid 1..p are the simulated nodes; tid is the lane's slot
+    assert {e["pid"] for e in payload} == {1, 2}
+    for e in payload:
+        assert 0 <= e["tid"] <= 6
+    # every (pid, tid) used by a payload event is named by a meta event
+    named = {(e["pid"], e.get("tid")) for e in meta if e["name"] == "thread_name"}
+    assert {(e["pid"], e["tid"]) for e in payload} <= named
+
+
+def test_lane_pid_tid_stability():
+    """cpu/fpga/dram/sram/mpi/net order is part of the format contract."""
+    from repro.obs.export import _lane_pid_tid
+
+    assert _lane_pid_tid("cpu0") == (1, 0)
+    assert _lane_pid_tid("fpga0") == (1, 1)
+    assert _lane_pid_tid("dram3") == (4, 2)
+    assert _lane_pid_tid("sram1") == (2, 3)
+    assert _lane_pid_tid("mpi2") == (3, 4)
+    assert _lane_pid_tid("net5->") == (6, 5)
+
+
+def test_harness_spans_export_on_pid_zero():
+    tracer = Tracer(clock=iter([1.0, 2.0]).__next__)
+    with tracer.span("fig5", category="experiment"):
+        pass
+    events = chrome_trace_events(spans=tracer.spans, span_epoch=tracer.epoch)
+    payload = [e for e in events if e["ph"] == "X"]
+    assert len(payload) == 1
+    ev = payload[0]
+    assert ev["pid"] == 0 and ev["tid"] == 0
+    assert ev["ts"] == 0.0 and ev["dur"] == pytest.approx(1e6)
+
+
+# ---------------------------------------------------------- metrics jsonl
+
+
+def test_metrics_jsonl_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("cache.hits", layer="result_cache").inc(3)
+    reg.histogram("sweep.task_seconds", mode="serial").observe(0.25)
+
+    class Pred:
+        t_tp, t_tf = 9.0, 8.0
+
+    report = reconcile("lu", 10.0, Pred(), registry=reg)
+    path = write_metrics_jsonl(tmp_path / "m.jsonl", reg, overlap=[report],
+                               extra={"app": "lu"})
+    records = read_metrics_jsonl(path)
+    header = records[0]
+    assert header["kind"] == "header"
+    assert header["schema"] == METRICS_SCHEMA
+    assert header["app"] == "lu"
+    by_kind = {}
+    for rec in records[1:]:
+        by_kind.setdefault(rec["kind"], []).append(rec)
+    assert any(r["name"] == "cache.hits" for r in by_kind["counter"])
+    assert any(r["name"] == "sweep.task_seconds" for r in by_kind["histogram"])
+    assert by_kind["overlap"][0]["overlap_efficiency"] == pytest.approx(0.9)
+
+
+def test_read_metrics_jsonl_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"kind": "header"}\nnot json\n')
+    with pytest.raises(ValueError):
+        read_metrics_jsonl(bad)
+
+
+def test_metrics_summary_renders_all_kinds(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a.count").inc(2)
+    reg.gauge("b.gauge", app="lu").set(1.25)
+    reg.histogram("c.hist").observe(0.5)
+
+    class Pred:
+        t_tp, t_tf = 9.0, 8.0
+
+    report = reconcile("lu", 10.0, Pred(), registry=reg)
+    text = metrics_summary(reg, overlap=[report])
+    assert "a.count" in text
+    assert "b.gauge{app=lu}" in text
+    assert "count=1" in text  # histogram row
+    assert "efficiency 0.9" in text
+    # the same render must come out of a written file
+    path = write_metrics_jsonl(tmp_path / "m.jsonl", reg, overlap=[report])
+    assert "a.count" in metrics_summary(read_metrics_jsonl(path))
+
+
+def test_empty_trace_exports_empty_event_list():
+    assert chrome_trace_events(sim_trace=Trace()) == []

@@ -1,0 +1,138 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+
+
+# ------------------------------------------------------------- instruments
+
+
+def test_counter_increments():
+    c = Counter("x", {})
+    assert c.value == 0.0
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_decrease():
+    c = Counter("x", {})
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_set_inc_dec_max():
+    g = Gauge("q", {})
+    g.set(3.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.value == 2.0
+    g.max(10.0)
+    assert g.value == 10.0
+    g.max(5.0)  # high-water mark: no decrease
+    assert g.value == 10.0
+
+
+def test_histogram_counts_and_moments():
+    h = Histogram("lat", {})
+    for v in (0.5e-6, 2e-3, 2e-3, 1e3):  # last one lands in +inf bucket
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(0.5e-6 + 2e-3 + 2e-3 + 1e3)
+    assert h.min == 0.5e-6
+    assert h.max == 1e3
+    assert h.mean == pytest.approx(h.sum / 4)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert sum(snap["buckets"].values()) == 4
+    assert "+inf" in snap["buckets"]
+
+
+def test_histogram_quantiles():
+    h = Histogram("lat", {})
+    assert h.quantile(0.5) == 0.0  # empty
+    for _ in range(100):
+        h.observe(2e-3)
+    assert h.quantile(0.0) == 2e-3
+    assert h.quantile(1.0) == 2e-3
+    # interpolated median lands inside the (1e-3, 4e-3] bucket
+    assert 1e-3 <= h.quantile(0.5) <= 4e-3
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("lat", {}, buckets=(2.0, 1.0))
+
+
+def test_default_buckets_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_get_or_create_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", layer="cache")
+    b = reg.counter("hits", layer="cache")
+    assert a is b
+    a.inc()
+    assert reg.value("hits", layer="cache") == 1.0
+
+
+def test_registry_distinguishes_labels():
+    reg = MetricsRegistry()
+    reg.counter("hits", layer="a").inc()
+    reg.counter("hits", layer="b").inc(2)
+    assert reg.value("hits", layer="a") == 1.0
+    assert reg.value("hits", layer="b") == 2.0
+    assert len(reg) == 2
+    assert "hits" in reg
+    assert "misses" not in reg
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_registry_value_keyerror():
+    reg = MetricsRegistry()
+    with pytest.raises(KeyError):
+        reg.value("nope")
+
+
+def test_registry_snapshot_sorted_and_jsonable():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.gauge("a").set(1.5)
+    reg.histogram("c").observe(0.5)
+    snap = reg.snapshot()
+    assert [rec["name"] for rec in snap] == ["a", "b", "c"]
+    json.dumps(snap)  # must not raise
+
+
+def test_registry_reset():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.reset()
+    assert len(reg) == 0
+
+
+def test_process_registry_singleton():
+    assert get_registry() is REGISTRY

@@ -1,0 +1,143 @@
+"""Overlap accounting tests (repro.obs.overlap) -- the Section 4.5 dashboard."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.overlap import OverlapReport, busy_by_resource, reconcile
+from repro.sim.trace import Trace
+
+
+class FakePrediction:
+    def __init__(self, t_tp, t_tf, latency=None):
+        self.t_tp = t_tp
+        self.t_tf = t_tf
+        if latency is not None:
+            self.latency = latency
+
+
+def small_trace():
+    tr = Trace()
+    tr.record("cpu0", "gemm", 0.0, 6.0)
+    tr.record("cpu1", "gemm", 0.0, 4.0)
+    tr.record("fpga0", "mm", 1.0, 9.0)
+    tr.record("net0->", "send", 2.0, 3.0)
+    tr.record("dram1", "stage", 0.0, 0.5)
+    return tr
+
+
+# ---------------------------------------------------------------- reconcile
+
+
+def test_overlap_efficiency_is_exact_reciprocal_of_slowdown():
+    """The acceptance identity: efficiency = max(T_tp, T_tf)/simulated and
+    slowdown = simulated/max(T_tp, T_tf), reciprocal to 1e-9."""
+    report = reconcile(
+        "lu", 926.919, FakePrediction(t_tp=1193.108, t_tf=532.731),
+        registry=MetricsRegistry(),
+    )
+    assert report.predicted_latency == max(1193.108, 532.731)
+    hand_efficiency = max(1193.108, 532.731) / 926.919
+    hand_slowdown = 926.919 / max(1193.108, 532.731)
+    assert report.overlap_efficiency == pytest.approx(hand_efficiency, abs=1e-9)
+    assert report.slowdown_vs_model == pytest.approx(hand_slowdown, abs=1e-9)
+    assert report.overlap_efficiency * report.slowdown_vs_model == pytest.approx(
+        1.0, abs=1e-9
+    )
+
+
+def test_reconcile_preserves_model_latency_in_meta():
+    rep = reconcile(
+        "lu", 10.0, FakePrediction(t_tp=12.0, t_tf=5.0, latency=9.0),
+        registry=MetricsRegistry(),
+    )
+    assert rep.predicted_latency == 12.0  # the paper's literal max{T_tp, T_tf}
+    assert rep.meta["model_latency"] == 9.0
+
+
+def test_reconcile_rejects_negative_makespan():
+    with pytest.raises(ValueError):
+        reconcile("lu", -1.0, FakePrediction(1.0, 1.0), registry=MetricsRegistry())
+
+
+def test_degenerate_makespan_yields_zero_not_error():
+    rep = OverlapReport(
+        app="x", simulated_makespan=0.0, t_tp=1.0, t_tf=2.0, predicted_latency=2.0
+    )
+    assert rep.overlap_efficiency == 0.0
+    zero_pred = OverlapReport(
+        app="x", simulated_makespan=1.0, t_tp=0.0, t_tf=0.0, predicted_latency=0.0
+    )
+    assert zero_pred.slowdown_vs_model == 0.0
+    assert zero_pred.utilisation("cpu") == 0.0
+
+
+# -------------------------------------------------------- busy-time rollup
+
+
+def test_busy_by_resource_rolls_lanes_up():
+    busy, counts = busy_by_resource(small_trace())
+    assert busy == {
+        "cpu": pytest.approx(10.0),
+        "fpga": pytest.approx(8.0),
+        "net": pytest.approx(1.0),
+        "dram": pytest.approx(0.5),
+    }
+    assert counts == {"cpu": 2, "fpga": 1, "net": 1, "dram": 1}
+
+
+def test_busy_by_resource_none_trace():
+    assert busy_by_resource(None) == ({}, {})
+
+
+def test_utilisation_is_mean_per_lane():
+    rep = reconcile(
+        "mm", 10.0, FakePrediction(8.0, 9.0), trace=small_trace(),
+        registry=MetricsRegistry(),
+    )
+    # 2 cpu lanes busy 10s total over a 10s window -> 50% mean per lane.
+    assert rep.utilisation("cpu") == pytest.approx(0.5)
+    assert rep.utilisation("fpga") == pytest.approx(0.8)
+    assert rep.utilisation("absent") == 0.0
+
+
+def test_window_overrides_makespan_for_utilisation():
+    # FW extrapolates the makespan; the trace covers only the window.
+    rep = reconcile(
+        "fw", 100.0, FakePrediction(90.0, 80.0), trace=small_trace(), window=10.0,
+        registry=MetricsRegistry(),
+    )
+    assert rep.meta["window"] == 10.0
+    assert rep.utilisation("fpga") == pytest.approx(0.8)  # 8s of 10s window
+    # efficiency still uses the extrapolated makespan
+    assert rep.overlap_efficiency == pytest.approx(0.9)
+
+
+# ------------------------------------------------------- export / register
+
+
+def test_register_publishes_gauges():
+    reg = MetricsRegistry()
+    reconcile("lu", 10.0, FakePrediction(9.0, 8.0), trace=small_trace(), registry=reg)
+    assert reg.value("overlap.efficiency", app="lu") == pytest.approx(0.9)
+    assert reg.value("overlap.t_tp_s", app="lu") == 9.0
+    assert reg.value("resource.busy_s", app="lu", resource="cpu") == pytest.approx(10.0)
+
+
+def test_to_dict_roundtrips_json():
+    import json
+
+    rep = reconcile(
+        "fw", 10.0, FakePrediction(9.0, 8.0), trace=small_trace(), window=5.0,
+        registry=MetricsRegistry(), n=64,
+    )
+    doc = json.loads(json.dumps(rep.to_dict()))
+    assert doc["kind"] == "overlap"
+    assert doc["overlap_efficiency"] == pytest.approx(0.9)
+    assert doc["lane_counts"]["cpu"] == 2
+    assert doc["meta"]["n"] == 64
+
+
+def test_summary_mentions_headline():
+    rep = reconcile("lu", 10.0, FakePrediction(9.0, 8.0), registry=MetricsRegistry())
+    text = rep.summary()
+    assert "overlap_efficiency" in text and "0.85" in text

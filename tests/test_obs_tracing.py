@@ -1,0 +1,106 @@
+"""Unit tests for span tracing (repro.obs.tracing)."""
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+def make_clock(times):
+    """A deterministic clock yielding the given instants in order."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+def test_span_context_manager_records():
+    tracer = Tracer(clock=make_clock([10.0, 12.5]))
+    with tracer.span("solve", category="model", n=4) as sp:
+        pass
+    assert sp.duration == 2.5
+    assert tracer.spans == [sp]
+    assert sp.name == "solve" and sp.category == "model" and sp.args == {"n": 4}
+    assert tracer.epoch == 10.0
+
+
+def test_span_nesting_depth():
+    tracer = Tracer(clock=make_clock([0.0, 1.0, 2.0, 3.0]))
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+    assert outer.depth == 0
+    assert inner.depth == 1
+    # completion order: inner closes first
+    assert tracer.spans == [inner, outer]
+
+
+def test_begin_end_imperative_form():
+    tracer = Tracer(clock=make_clock([1.0, 4.0]))
+    sp = tracer.begin("map")
+    assert sp.end is None
+    with pytest.raises(RuntimeError):
+        sp.duration
+    tracer.end(sp)
+    assert sp.duration == 3.0
+
+
+def test_trace_decorator():
+    tracer = Tracer(clock=make_clock([0.0, 1.0]))
+
+    @tracer.trace("fn", category="sweep")
+    def double(x):
+        return 2 * x
+
+    assert double(21) == 42
+    assert len(tracer) == 1
+    assert tracer.spans[0].name == "fn"
+
+
+def test_by_category_and_reset():
+    tracer = Tracer(clock=make_clock([0, 1, 2, 3]))
+    with tracer.span("a", category="x"):
+        pass
+    with tracer.span("b", category="y"):
+        pass
+    assert [sp.name for sp in tracer.by_category("y")] == ["b"]
+    tracer.reset()
+    assert len(tracer) == 0 and tracer.epoch is None
+
+
+# ------------------------------------------------------------- null tracer
+
+
+def test_null_tracer_shares_one_inert_span():
+    a = NULL_TRACER.span("x", category="c", k=1)
+    b = NULL_TRACER.begin("y")
+    assert a is b  # one shared instance: no allocation per call
+    with a:
+        pass
+    NULL_TRACER.end(b)
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.spans == []
+    assert NULL_TRACER.by_category("c") == []
+    assert not NULL_TRACER.enabled
+
+
+def test_null_tracer_decorator_returns_function_unchanged():
+    def fn():
+        return 7
+
+    assert NullTracer().trace("x")(fn) is fn
+
+
+def test_set_get_tracer_roundtrip():
+    assert isinstance(get_tracer(), NullTracer)  # default: disabled
+    t = Tracer()
+    prev = set_tracer(t)
+    try:
+        assert get_tracer() is t
+    finally:
+        set_tracer(prev)
+    assert get_tracer() is prev

@@ -89,7 +89,7 @@ def test_cache_miss_then_hit(tmp_path):
     cache.put(payload, {"y": 9.5})
     entry = cache.get(payload)
     assert entry is not None and entry["value"] == {"y": 9.5}
-    assert cache.stats == {"lookups": 2, "hits": 1, "misses": 1}
+    assert cache.stats == {"lookups": 2, "hits": 1, "misses": 1, "puts": 1, "evictions": 0}
 
 
 def test_cache_salt_invalidation(tmp_path):
@@ -222,3 +222,57 @@ def test_experiments_serial_parallel_and_cache_agree(tmp_path):
     # The warm run must replay >= 90% of sim calls from the cache.
     assert cache.hits / cache.lookups >= 0.9
     assert E.SIM_CALLS == before  # and in fact re-simulated nothing
+
+
+def test_cache_counts_hits_misses_puts_evictions(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.get({"x": 1}) is None  # miss
+    cache.put({"x": 1}, 41)
+    assert cache.get({"x": 1})["value"] == 41  # hit
+    assert cache.get({"x": 2}) is None  # miss
+    removed = cache.clear()
+    assert removed == 1
+    assert cache.stats == {
+        "lookups": 3,
+        "hits": 1,
+        "misses": 2,
+        "puts": 1,
+        "evictions": 1,
+    }
+    assert cache.hit_rate == pytest.approx(1 / 3)
+
+
+def test_cache_hit_rate_before_first_lookup():
+    assert ResultCache("unused").hit_rate == 0.0
+
+
+def test_cache_footer_format(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.get({"x": 1})
+    cache.put({"x": 1}, 1)
+    cache.get({"x": 1})
+    footer = cache.footer()
+    assert str(cache.root) in footer
+    assert "2 lookups" in footer
+    assert "1 hits (50%)" in footer
+    assert "1 misses" in footer
+    assert "1 stored" in footer
+    assert "0 evicted" in footer
+
+
+def test_cache_mirrors_counters_into_registry(tmp_path):
+    from repro.obs import REGISTRY
+
+    def count(name):
+        try:
+            return REGISTRY.value(name, layer="result_cache")
+        except KeyError:
+            return 0.0
+
+    hits0, misses0 = count("cache.hits"), count("cache.misses")
+    cache = ResultCache(tmp_path / "c")
+    cache.get({"y": 1})
+    cache.put({"y": 1}, 2)
+    cache.get({"y": 1})
+    assert count("cache.hits") == hits0 + 1
+    assert count("cache.misses") == misses0 + 1

@@ -102,3 +102,36 @@ def test_utilisation_by_prefix():
     u = tr.utilisation_by_prefix("cpu")
     assert set(u) == {"cpu0", "cpu1"}
     assert u["cpu0"] == pytest.approx(0.5)
+
+
+# ---------------------------------------------------- utilisation edge cases
+
+
+def test_utilisation_per_category_and_all():
+    tr = Trace()
+    tr.record("cpu0", "a", 0.0, 5.0)
+    tr.record("fpga0", "b", 0.0, 10.0)
+    assert tr.utilisation("cpu0") == pytest.approx(0.5)
+    assert tr.utilisation() == {
+        "cpu0": pytest.approx(0.5),
+        "fpga0": pytest.approx(1.0),
+    }
+
+
+def test_utilisation_empty_trace_is_zero_not_error():
+    """Regression: an empty trace has makespan 0 and must yield 0.0, not
+    raise ZeroDivisionError."""
+    tr = Trace()
+    assert tr.utilisation("cpu0") == 0.0
+    assert tr.utilisation() == {}
+
+
+def test_utilisation_zero_duration_intervals_are_zero_not_error():
+    """Regression: a trace holding only zero-duration (instantaneous)
+    intervals also has makespan 0 -- same guarantee."""
+    tr = Trace()
+    tr.record("cpu0", "tick", 0.0, 0.0)
+    tr.record("net0->", "ping", 0.0, 0.0)
+    assert tr.makespan() == 0.0
+    assert tr.utilisation("cpu0") == 0.0
+    assert tr.utilisation() == {"cpu0": 0.0, "net0->": 0.0}
