@@ -13,27 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.critical_path import classify_label as _classify
 from ..sim import Trace
 from .report import percent, table
 
 __all__ = ["LaneBreakdown", "BottleneckReport", "analyse_trace"]
-
-#: Label prefixes -> activity classes on cpu lanes.
-_CPU_CLASSES = (
-    ("mpi:", "communication"),
-    ("stage", "staging"),
-    ("opMS", "compute"),
-    ("op", "compute"),
-    ("gemm", "compute"),
-    ("dgetrf", "compute"),
-)
-
-
-def _classify(label: str) -> str:
-    for prefix, cls in _CPU_CLASSES:
-        if label.startswith(prefix):
-            return cls
-    return "compute"
 
 
 @dataclass

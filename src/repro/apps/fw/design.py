@@ -61,6 +61,14 @@ class FwDesign:
 
         return describe_parameters(self.params) + "\n\n" + describe_fw_plan(self.plan)
 
+    def partition_params(self) -> dict:
+        """The plan's partition decisions, JSON-able (run-ledger manifest)."""
+        return {
+            "l1": self.plan.partition.l1,
+            "l2": self.plan.partition.l2,
+            "k": self.k,
+        }
+
     def config(self, l1: Optional[int] = None, **over) -> FwSimConfig:
         """A simulation config; defaults to the plan's l1/l2 split."""
         l1 = self.plan.partition.l1 if l1 is None else l1
@@ -113,6 +121,7 @@ class FwDesign:
             p=self.spec.p,
             iterations_run=result.iterations_run,
             gflops=result.gflops,
+            partition=self.partition_params(),
         )
 
     def compare(self, **over) -> FwComparison:

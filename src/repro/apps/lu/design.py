@@ -73,6 +73,15 @@ class LuDesign:
 
         return describe_parameters(self.params) + "\n\n" + describe_lu_plan(self.plan)
 
+    def partition_params(self) -> dict:
+        """The plan's partition decisions, JSON-able (run-ledger manifest)."""
+        return {
+            "b_p": self.plan.partition.b_p,
+            "b_f": self.plan.partition.b_f,
+            "l": self.plan.balance.l,
+            "k": self.k,
+        }
+
     # -- simulation -----------------------------------------------------------
 
     def config(self, b_f: Optional[int] = None, l: Optional[int] = None, **over) -> LuSimConfig:
@@ -127,6 +136,7 @@ class LuDesign:
             b=self.b,
             p=self.spec.p,
             gflops=result.gflops,
+            partition=self.partition_params(),
         )
 
     def compare(self, **over) -> LuComparison:

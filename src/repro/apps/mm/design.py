@@ -56,6 +56,10 @@ class MmDesign:
         total = self.spec.p * self.plan.step_makespan
         return 2.0 * float(self.n) ** 3 / total / 1e9
 
+    def partition_params(self) -> dict:
+        """The plan's partition decisions, JSON-able (run-ledger manifest)."""
+        return {"m_f": self.plan.m_f, "r": self.plan.r, "k": self.k}
+
     def config(self, m_f: Optional[int] = None, **over) -> MmSimConfig:
         return MmSimConfig(
             n=self.n, k=self.k, m_f=self.plan.m_f if m_f is None else m_f, **over
@@ -95,6 +99,7 @@ class MmDesign:
             n=self.n,
             p=p,
             gflops=result.gflops,
+            partition=self.partition_params(),
         )
 
     def simulate_cpu_only(self, trace: bool = False, **over) -> MmSimResult:

@@ -10,23 +10,34 @@ Runs the paper's experiments from the shell::
 
 Any ``lu``/``fw`` run also accepts ``--trace-out timeline.json`` (a
 Chrome ``trace_event`` timeline of the simulated lanes plus harness
-wall-clock spans) and ``--metrics-out metrics.jsonl`` (counters, gauges,
-histograms and the overlap-accounting report).  ``repro-xd1 obs
-summary`` pretty-prints a metrics file; ``repro-xd1 obs check`` gates on
-``overlap_efficiency`` (schema: docs/observability.md).
+wall-clock spans), ``--metrics-out metrics.jsonl`` (counters, gauges,
+histograms and the overlap-accounting report), and ``--cache DIR``
+(replay the baseline comparison through the shared result cache).
+
+The observatory commands sit under ``repro-xd1 obs``::
+
+    obs summary --metrics m.jsonl      # pretty-print a metrics file
+    obs check   --metrics m.jsonl      # gate on overlap_efficiency
+    obs ledger record --metrics m.jsonl --trace t.json --ledger L
+    obs ledger list|diff|check --ledger L
+    obs dashboard --ledger L [--html dashboard.html]
+
+Schemas: docs/observability.md.  All output goes through one
+BrokenPipe-safe writer, so ``repro-xd1 ... | head`` never stack-traces.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
+import time
 
 from .analysis import bar_chart, percent, table
 from .apps.fw import FwDesign
 from .apps.lu import LuDesign
 from .hw import FloydWarshallDesign, MatrixMultiplyDesign
 from .machine import ALL_PRESETS, cray_xd1
+from .obs.console import safe_print as _p
 
 
 def _obs_enabled(args: argparse.Namespace) -> bool:
@@ -38,30 +49,39 @@ def _obs_run(args: argparse.Namespace, app: str, design) -> None:
 
     Runs one *traced* hybrid simulation with a DES monitor attached,
     reconciles it against the plan's prediction, and writes whichever
-    exports were requested.
+    exports were requested.  DES wall throughput is published as the
+    ``des.events_per_s`` gauge so the run ledger can record it.
     """
     from .obs import REGISTRY, get_tracer, write_chrome_trace, write_metrics_jsonl
     from .sim import SimMonitor
 
     tracer = get_tracer()
     monitor = SimMonitor()
+    t0 = time.perf_counter()
     with tracer.span(f"{app}.traced_run", category="cli", n=args.n, p=args.p):
         result = design.simulate(trace=True, monitor=monitor)
+    wall = time.perf_counter() - t0
     report = design.overlap_report(result=result)
     monitor.to_registry(REGISTRY, app=app)
-    print(report.summary())
+    if wall > 0 and monitor.events_fired:
+        REGISTRY.gauge("des.events_per_s", app=app).set(monitor.events_fired / wall)
+    _p(report.summary())
     if args.trace_out:
         path = write_chrome_trace(
             args.trace_out, sim_trace=result.trace,
             spans=tracer.spans, span_epoch=tracer.epoch,
         )
-        print(f"trace written to {path} (chrome://tracing / Perfetto)")
+        _p(f"trace written to {path} (chrome://tracing / Perfetto)")
     if args.metrics_out:
         path = write_metrics_jsonl(
             args.metrics_out, REGISTRY, overlap=[report],
-            extra={"app": app, "n": args.n, "b": getattr(args, "b", None), "p": args.p},
+            extra={
+                "app": app, "n": args.n, "b": getattr(args, "b", None),
+                "p": args.p, "preset": "xd1",
+                "partition": design.partition_params(),
+            },
         )
-        print(f"metrics written to {path}")
+        _p(f"metrics written to {path}")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +95,39 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _compare_values(args: argparse.Namespace, design, kind: str) -> tuple[dict, str | None]:
+    """The Figure 9 comparison as a plain dict, plus a cache footer.
+
+    Without ``--cache`` the comparison simulates directly.  With it, the
+    run routes through the experiment harness's cached task layer (the
+    same ``lu_compare``/``fw_compare`` tasks the fig9 experiments use),
+    so a warm ``.repro_cache`` replays stored values and the cache
+    counters/footer cover the warm path.
+    """
+    if getattr(args, "cache", None):
+        from .experiments import _eval_sim_point, active_cache, configured
+
+        task: dict = {"kind": kind, "n": args.n, "b": args.b}
+        if args.p != 6:
+            task["p"] = args.p  # default-p tasks share keys with the fig9 sweeps
+        with configured(cache=args.cache):
+            values = _eval_sim_point(task)
+            cache = active_cache()
+            footer = cache.footer() if cache is not None else None
+        return values, footer
+    cmp = design.compare()
+    return {
+        "hybrid": cmp.hybrid.gflops,
+        "cpu_only": cmp.cpu_only.gflops,
+        "fpga_only": cmp.fpga_only.gflops,
+        "predicted": cmp.predicted_gflops,
+        "speedup_vs_cpu": cmp.speedup_vs_cpu,
+        "speedup_vs_fpga": cmp.speedup_vs_fpga,
+        "fraction_of_sum": cmp.fraction_of_sum,
+        "fraction_of_predicted": cmp.fraction_of_predicted,
+    }, None
+
+
 def _cmd_lu(args: argparse.Namespace) -> None:
     if _obs_enabled(args):
         from .obs import Tracer, set_tracer
@@ -82,19 +135,21 @@ def _cmd_lu(args: argparse.Namespace) -> None:
         set_tracer(Tracer())
     design = LuDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
     plan = design.plan
-    print(f"plan: b_p={plan.partition.b_p} b_f={plan.partition.b_f} l={plan.balance.l} "
-          f"predicted={plan.prediction.gflops:.2f} GFLOPS")
-    cmp = design.compare()
-    print(bar_chart(
+    _p(f"plan: b_p={plan.partition.b_p} b_f={plan.partition.b_f} l={plan.balance.l} "
+       f"predicted={plan.prediction.gflops:.2f} GFLOPS")
+    cmp, footer = _compare_values(args, design, "lu_compare")
+    _p(bar_chart(
         ["Hybrid", "Processor-only", "FPGA-only", "Predicted"],
-        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        [cmp["hybrid"], cmp["cpu_only"], cmp["fpga_only"], cmp["predicted"]],
         f"LU decomposition, n={args.n}, b={args.b}, p={args.p} (GFLOPS)",
         unit=" GFLOPS",
     ))
-    print(f"speedup vs CPU-only  : {cmp.speedup_vs_cpu:.2f}x (paper: 1.3x)")
-    print(f"speedup vs FPGA-only : {cmp.speedup_vs_fpga:.2f}x (paper: 2x)")
-    print(f"of baseline sum      : {percent(cmp.fraction_of_sum)} (paper: ~80%)")
-    print(f"of model prediction  : {percent(cmp.fraction_of_predicted)} (paper: ~86%)")
+    _p(f"speedup vs CPU-only  : {cmp['speedup_vs_cpu']:.2f}x (paper: 1.3x)")
+    _p(f"speedup vs FPGA-only : {cmp['speedup_vs_fpga']:.2f}x (paper: 2x)")
+    _p(f"of baseline sum      : {percent(cmp['fraction_of_sum'])} (paper: ~80%)")
+    _p(f"of model prediction  : {percent(cmp['fraction_of_predicted'])} (paper: ~86%)")
+    if footer:
+        _p(footer)
     if _obs_enabled(args):
         _obs_run(args, "lu", design)
 
@@ -106,19 +161,21 @@ def _cmd_fw(args: argparse.Namespace) -> None:
         set_tracer(Tracer())
     design = FwDesign(cray_xd1(p=args.p), n=args.n, b=args.b)
     plan = design.plan
-    print(f"plan: l1={plan.partition.l1} l2={plan.partition.l2} "
-          f"predicted={plan.prediction.gflops:.2f} GFLOPS")
-    cmp = design.compare()
-    print(bar_chart(
+    _p(f"plan: l1={plan.partition.l1} l2={plan.partition.l2} "
+       f"predicted={plan.prediction.gflops:.2f} GFLOPS")
+    cmp, footer = _compare_values(args, design, "fw_compare")
+    _p(bar_chart(
         ["Hybrid", "Processor-only", "FPGA-only", "Predicted"],
-        [cmp.hybrid.gflops, cmp.cpu_only.gflops, cmp.fpga_only.gflops, cmp.predicted_gflops],
+        [cmp["hybrid"], cmp["cpu_only"], cmp["fpga_only"], cmp["predicted"]],
         f"Floyd-Warshall, n={args.n}, b={args.b}, p={args.p} (GFLOPS)",
         unit=" GFLOPS",
     ))
-    print(f"speedup vs CPU-only  : {cmp.speedup_vs_cpu:.2f}x (paper: 5.8x)")
-    print(f"speedup vs FPGA-only : {cmp.speedup_vs_fpga:.2f}x (paper: 1.15x)")
-    print(f"of baseline sum      : {percent(cmp.fraction_of_sum)} (paper: >95%)")
-    print(f"of model prediction  : {percent(cmp.fraction_of_predicted)} (paper: ~96%)")
+    _p(f"speedup vs CPU-only  : {cmp['speedup_vs_cpu']:.2f}x (paper: 5.8x)")
+    _p(f"speedup vs FPGA-only : {cmp['speedup_vs_fpga']:.2f}x (paper: 1.15x)")
+    _p(f"of baseline sum      : {percent(cmp['fraction_of_sum'])} (paper: >95%)")
+    _p(f"of model prediction  : {percent(cmp['fraction_of_predicted'])} (paper: ~96%)")
+    if footer:
+        _p(footer)
     if _obs_enabled(args):
         _obs_run(args, "fw", design)
 
@@ -139,7 +196,7 @@ def _cmd_plan_lu(args: argparse.Namespace) -> None:
         ["coordination", f"{design.plan.coordination_hz:.1f} Hz"],
         ["predicted", f"{design.plan.prediction.gflops:.2f} GFLOPS"],
     ]
-    print(table(["decision", "value"], rows, title=f"LU plan (n={args.n}, b={args.b})"))
+    _p(table(["decision", "value"], rows, title=f"LU plan (n={args.n}, b={args.b})"))
 
 
 def _cmd_plan_fw(args: argparse.Namespace) -> None:
@@ -156,7 +213,7 @@ def _cmd_plan_fw(args: argparse.Namespace) -> None:
         ["coordination", f"{design.plan.coordination_hz:.2f} Hz"],
         ["predicted", f"{design.plan.prediction.gflops:.2f} GFLOPS"],
     ]
-    print(table(["decision", "value"], rows, title=f"FW plan (n={args.n}, b={args.b})"))
+    _p(table(["decision", "value"], rows, title=f"FW plan (n={args.n}, b={args.b})"))
 
 
 def _cmd_machines(args: argparse.Namespace) -> None:
@@ -174,7 +231,7 @@ def _cmd_machines(args: argparse.Namespace) -> None:
         fw_pred = DesignModel(spec.parameters("fw", fwd)).plan_fw(fw_n, 256, fwd.k).prediction.gflops
         rows.append([spec.name, spec.p, mm.k, f"{mm.freq_hz / 1e6:.0f} MHz",
                      f"{lu_pred:.1f}", f"{fw_pred:.2f}"])
-    print(table(
+    _p(table(
         ["machine", "p", "k", "F_f(MM)", "LU GFLOPS (pred)", "FW GFLOPS (pred)"],
         rows,
         title="Design-model predictions across machine presets (Section 4.5)",
@@ -193,6 +250,8 @@ def main(argv: list[str] | None = None) -> int:
     lu.add_argument("--n", type=int, default=30000)
     lu.add_argument("--b", type=int, default=3000)
     lu.add_argument("--p", type=int, default=6)
+    lu.add_argument("--cache", default=None, metavar="DIR",
+                    help="replay the comparison through this result cache")
     _add_obs_flags(lu)
     lu.set_defaults(fn=_cmd_lu)
 
@@ -200,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
     fw.add_argument("--n", type=int, default=92160)
     fw.add_argument("--b", type=int, default=256)
     fw.add_argument("--p", type=int, default=6)
+    fw.add_argument("--cache", default=None, metavar="DIR",
+                    help="replay the comparison through this result cache")
     _add_obs_flags(fw)
     fw.set_defaults(fn=_cmd_fw)
 
@@ -236,10 +297,14 @@ def main(argv: list[str] | None = None) -> int:
         help="result-cache directory ('off' disables; "
         "default: $REPRO_CACHE or no cache)",
     )
+    exp.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append an 'experiments' manifest to this run ledger",
+    )
     _add_obs_flags(exp)
     exp.set_defaults(fn=_cmd_experiments)
 
-    obs = sub.add_parser("obs", help="inspect / gate metrics files")
+    obs = sub.add_parser("obs", help="inspect / gate metrics files and the run ledger")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     osum = obs_sub.add_parser("summary", help="pretty-print a metrics JSON-lines file")
     osum.add_argument("--metrics", required=True, metavar="PATH")
@@ -253,13 +318,60 @@ def main(argv: list[str] | None = None) -> int:
     ochk.add_argument("--app", default=None, help="only check this app's reports")
     ochk.set_defaults(fn=_cmd_obs_check)
 
+    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 2)")
+    led_sub = led.add_subparsers(dest="ledger_command", required=True)
+
+    lrec = led_sub.add_parser("record", help="append manifests for a recorded run")
+    lrec.add_argument("--metrics", required=True, metavar="PATH",
+                      help="metrics JSON-lines file of the run (--metrics-out)")
+    lrec.add_argument("--trace", default=None, metavar="PATH",
+                      help="Chrome trace of the run (--trace-out); enables "
+                      "critical-path attribution in the manifest")
+    lrec.add_argument("--ledger", required=True, metavar="PATH")
+    lrec.add_argument("--preset", default=None, help="machine preset key (default: header)")
+    lrec.add_argument("--source", default="cli", help="who recorded this (cli/ci/bench)")
+    lrec.add_argument("--git-sha", default=None, dest="git_sha",
+                      help="override the recorded commit SHA")
+    lrec.add_argument("--note", default=None, help="free-form annotation")
+    lrec.set_defaults(fn=_cmd_ledger_record)
+
+    llist = led_sub.add_parser("list", help="tabulate ledger entries")
+    llist.add_argument("--ledger", required=True, metavar="PATH")
+    llist.add_argument("--app", default=None)
+    llist.add_argument("--limit", type=int, default=None, help="newest N entries only")
+    llist.set_defaults(fn=_cmd_ledger_list)
+
+    ldiff = led_sub.add_parser("diff", help="per-field delta between two entries")
+    ldiff.add_argument("--ledger", required=True, metavar="PATH")
+    ldiff.add_argument("a", help="entry ref: seq number, negative index, or 'latest'")
+    ldiff.add_argument("b", help="entry ref: seq number, negative index, or 'latest'")
+    ldiff.set_defaults(fn=_cmd_ledger_diff)
+
+    lchk = led_sub.add_parser(
+        "check", help="gate on fidelity: fail when a series drops below the band"
+    )
+    lchk.add_argument("--ledger", required=True, metavar="PATH")
+    lchk.add_argument("--band", type=float, default=0.85,
+                      help="overlap_efficiency floor (default 0.85, the paper's claim)")
+    lchk.add_argument("--drift", type=float, default=0.05,
+                      help="non-fatal warning threshold for latest-vs-history drift")
+    lchk.add_argument("--app", default=None, help="only check this app's series")
+    lchk.set_defaults(fn=_cmd_ledger_check)
+
+    dash = obs_sub.add_parser("dashboard", help="render the fidelity observatory")
+    dash.add_argument("--ledger", required=True, metavar="PATH")
+    dash.add_argument("--band", type=float, default=0.85)
+    dash.add_argument("--html", default=None, metavar="PATH",
+                      help="also write a self-contained HTML dashboard")
+    dash.set_defaults(fn=_cmd_obs_dashboard)
+
     args = parser.parse_args(argv)
+    _p.reset()
     try:
         result = args.fn(args)
     except BrokenPipeError:
-        # e.g. `repro-xd1 obs summary ... | head`; silence the flush-at-exit
-        # error too by pointing stdout at devnull.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        # Backstop for writes outside the safe writer (e.g. argparse).
+        _p._die()
         return 0
     return int(result) if isinstance(result, int) else 0
 
@@ -273,30 +385,182 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
     from .obs import metrics_summary, read_metrics_jsonl
 
-    print(metrics_summary(read_metrics_jsonl(args.metrics)))
+    try:
+        records = read_metrics_jsonl(args.metrics)
+    except (OSError, ValueError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    _p(metrics_summary(records))
     return 0
 
 
 def _cmd_obs_check(args: argparse.Namespace) -> int:
     from .obs import read_metrics_jsonl
 
+    try:
+        records = read_metrics_jsonl(args.metrics)
+    except (OSError, ValueError) as exc:
+        _p(f"error: {exc}")
+        return 2
     reports = [
-        rec for rec in read_metrics_jsonl(args.metrics)
+        rec for rec in records
         if rec.get("kind") == "overlap" and (args.app is None or rec.get("app") == args.app)
     ]
     if not reports:
         which = f" for app {args.app!r}" if args.app else ""
-        print(f"error: no overlap reports{which} in {args.metrics}")
+        _p(f"error: no overlap reports{which} in {args.metrics}")
         return 2
     failed = 0
     for rec in reports:
         eff = rec["overlap_efficiency"]
         ok = eff >= args.minimum
         status = "ok  " if ok else "FAIL"
-        print(f"{status} {rec['app']}: overlap_efficiency {eff:.4f} "
-              f"(floor {args.minimum:.2f})")
+        _p(f"{status} {rec['app']}: overlap_efficiency {eff:.4f} "
+           f"(floor {args.minimum:.2f})")
         failed += 0 if ok else 1
     return 1 if failed else 0
+
+
+# ------------------------------------------------------------- run ledger
+
+
+def _cmd_ledger_record(args: argparse.Namespace) -> int:
+    from .obs import (
+        LedgerError,
+        RunLedger,
+        critical_path,
+        entries_from_metrics,
+        from_chrome_trace,
+        read_metrics_jsonl,
+    )
+
+    try:
+        records = read_metrics_jsonl(args.metrics)
+        critical_paths = None
+        if args.trace:
+            report = critical_path(from_chrome_trace(args.trace))
+            apps = {r.get("app") for r in records if r.get("kind") == "overlap"}
+            critical_paths = {app: report.to_dict() for app in apps}
+        entries = entries_from_metrics(
+            records,
+            preset=args.preset,
+            source=args.source,
+            git_sha=args.git_sha,
+            critical_paths=critical_paths,
+            note=args.note,
+        )
+        ledger = RunLedger(args.ledger)
+        for entry in entries:
+            appended = ledger.append(entry)
+            cp = appended.get("critical_path") or {}
+            dominant = f", critical path: {cp['dominant']}" if cp else ""
+            _p(f"recorded seq {appended['seq']}: {appended['app']}@{appended['preset']} "
+               f"overlap_efficiency "
+               f"{appended['measured']['overlap_efficiency']:.4f}{dominant} "
+               f"-> {ledger.path}")
+    except (OSError, LedgerError, ValueError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    return 0
+
+
+def _cmd_ledger_list(args: argparse.Namespace) -> int:
+    from .obs import LedgerError, RunLedger
+
+    try:
+        entries = RunLedger(args.ledger).entries(app=args.app)
+    except LedgerError as exc:
+        _p(f"error: {exc}")
+        return 2
+    if args.limit:
+        entries = entries[-args.limit:]
+    if not entries:
+        _p(f"(no entries in {args.ledger})")
+        return 0
+    rows = []
+    for e in entries:
+        measured = e.get("measured") or {}
+        eff = measured.get("overlap_efficiency")
+        cp = e.get("critical_path") or {}
+        rows.append([
+            e.get("seq"), e.get("ts", ""), e.get("kind", ""), e.get("app", ""),
+            e.get("preset", ""),
+            f"{eff:.4f}" if eff is not None else "-",
+            cp.get("dominant", "-"),
+            str(e.get("git_sha", ""))[:8],
+            e.get("source", ""),
+        ])
+    _p(table(
+        ["seq", "ts", "kind", "app", "preset", "overlap_eff", "bound by", "git", "source"],
+        rows,
+        title=f"run ledger {args.ledger} (schema 2)",
+    ))
+    return 0
+
+
+def _cmd_ledger_diff(args: argparse.Namespace) -> int:
+    from .obs import LedgerError, RunLedger, render_diff
+
+    try:
+        ledger = RunLedger(args.ledger)
+        a, b = ledger.resolve(args.a), ledger.resolve(args.b)
+    except LedgerError as exc:
+        _p(f"error: {exc}")
+        return 2
+    _p(render_diff(a, b))
+    return 0
+
+
+def _cmd_ledger_check(args: argparse.Namespace) -> int:
+    from .obs import LedgerError, RunLedger, fidelity_check, fidelity_report
+
+    try:
+        entries = RunLedger(args.ledger).entries()
+    except LedgerError as exc:
+        _p(f"error: {exc}")
+        return 2
+    if not entries:
+        _p(f"error: ledger {args.ledger} is empty or missing")
+        return 2
+    stats = fidelity_report(entries, band=args.band)
+    if args.app is not None:
+        stats = [st for st in stats if st.app == args.app]
+    if not stats:
+        which = f" for app {args.app!r}" if args.app else ""
+        _p(f"error: no design_run series{which} in {args.ledger}")
+        return 2
+    for st in stats:
+        _p(st.summary(band=args.band))
+    failures, warnings = fidelity_check(
+        entries, band=args.band, drift_tolerance=args.drift, app=args.app
+    )
+    for msg in warnings:
+        _p(f"warning: {msg}")
+    for msg in failures:
+        _p(f"FAIL: {msg}")
+    if failures:
+        return 1
+    _p(f"fidelity ok: every series at or above the {args.band:.2f} band")
+    return 0
+
+
+def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import LedgerError, RunLedger, render_ascii, render_html
+
+    try:
+        entries = RunLedger(args.ledger).entries()
+    except LedgerError as exc:
+        _p(f"error: {exc}")
+        return 2
+    _p(render_ascii(entries, band=args.band))
+    if args.html:
+        path = Path(args.html)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_html(entries, band=args.band), encoding="utf-8")
+        _p(f"dashboard written to {path}")
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -307,7 +571,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         wanted = [name.strip() for name in args.only.split(",")]
         unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
         if unknown:
-            print(f"unknown experiment ids: {unknown}; available: {sorted(ALL_EXPERIMENTS)}")
+            _p(f"unknown experiment ids: {unknown}; available: {sorted(ALL_EXPERIMENTS)}")
             return 2
         selected = {name: ALL_EXPERIMENTS[name] for name in wanted}
     else:
@@ -318,25 +582,27 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     try:
         resolve_jobs(args.jobs)
     except ValueError as exc:
-        print(f"error: {exc}")
+        _p(f"error: {exc}")
         return 2
     if _obs_enabled(args):
         from .obs import Tracer, set_tracer
 
         set_tracer(Tracer())
     failed = []
+    outcomes: list[tuple[str, bool]] = []
     with configured(jobs=args.jobs, cache=cache):
         for name, fn in selected.items():
             result = fn()
-            print("=" * 72)
-            print(result.summary())
-            print(result.text)
-            print()
+            outcomes.append((name, result.ok))
+            _p("=" * 72)
+            _p(result.summary())
+            _p(result.text)
+            _p()
             if not result.ok:
                 failed.append(name)
         run_cache = active_cache()
         if run_cache is not None:
-            print(run_cache.footer())
+            _p(run_cache.footer())
     if _obs_enabled(args):
         from .obs import REGISTRY, get_tracer, write_chrome_trace, write_metrics_jsonl
 
@@ -345,17 +611,29 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             path = write_chrome_trace(
                 args.trace_out, spans=tracer.spans, span_epoch=tracer.epoch
             )
-            print(f"trace written to {path} (chrome://tracing / Perfetto)")
+            _p(f"trace written to {path} (chrome://tracing / Perfetto)")
         if args.metrics_out:
             path = write_metrics_jsonl(
                 args.metrics_out, REGISTRY,
                 extra={"command": "experiments", "only": args.only},
             )
-            print(f"metrics written to {path}")
+            _p(f"metrics written to {path}")
+    if args.ledger:
+        from .obs import REGISTRY, RunLedger, experiments_entry
+
+        try:
+            sim_points = int(REGISTRY.value("experiments.sim_points"))
+        except KeyError:
+            sim_points = None
+        entry = RunLedger(args.ledger).append(
+            experiments_entry(outcomes, sim_points=sim_points, source="cli")
+        )
+        _p(f"recorded seq {entry['seq']}: experiments "
+           f"({entry['passed']} passed, {entry['failed']} failed) -> {args.ledger}")
     if failed:
-        print(f"FAILED checks in: {failed}")
+        _p(f"FAILED checks in: {failed}")
         return 1
-    print("All reproduction checks passed.")
+    _p("All reproduction checks passed.")
     return 0
 
 

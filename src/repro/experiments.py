@@ -157,13 +157,13 @@ def _point_sim(task: dict) -> Any:
         res = simulate_fw(_spec_for(task["machine"]), task["cfg"])
         return {"elapsed": res.elapsed, "gflops": res.gflops}
     if kind == "lu_compare":
-        cmp = LuDesign(cray_xd1(), n=task["n"], b=task["b"]).compare()
+        cmp = LuDesign(cray_xd1(p=task.get("p", 6)), n=task["n"], b=task["b"]).compare()
     elif kind == "fw_compare":
-        cmp = FwDesign(cray_xd1(), n=task["n"], b=task["b"]).compare()
+        cmp = FwDesign(cray_xd1(p=task.get("p", 6)), n=task["n"], b=task["b"]).compare()
     elif kind == "mm_compare":
         from .apps.mm import MmDesign
 
-        cmp = MmDesign(cray_xd1(), n=task["n"]).compare()
+        cmp = MmDesign(cray_xd1(p=task.get("p", 6)), n=task["n"]).compare()
     elif kind == "fw_weak":
         from .analysis import fw_weak_scaling
 

@@ -11,7 +11,16 @@ The instrumentation substrate for the whole reproduction:
   summaries;
 * :mod:`repro.obs.overlap` -- reconciliation of simulated runs against
   the model's ``max{T_tp, T_tf}`` prediction (``overlap_efficiency``,
-  the paper's ">85% of prediction" claim as a first-class metric).
+  the paper's ">85% of prediction" claim as a first-class metric);
+* :mod:`repro.obs.ledger` -- the append-only, schema-versioned run
+  ledger (one manifest line per instrumented run);
+* :mod:`repro.obs.fidelity` -- cross-run prediction-error analysis over
+  the ledger (drift detection, band gating, entry diffing);
+* :mod:`repro.obs.critical_path` -- attribution of a simulated makespan
+  to resource segments (which Eq. (1)-(6) term bound the run);
+* :mod:`repro.obs.dashboard` -- ASCII / self-contained-HTML rendering
+  of fidelity trends and bottleneck attributions;
+* :mod:`repro.obs.console` -- the BrokenPipe-safe CLI writer.
 
 This package imports nothing from the rest of :mod:`repro`, so any
 layer -- the DES core's monitor, the partition solvers, the sweep
@@ -19,6 +28,14 @@ executor -- can depend on it without cycles.  Schema documentation
 lives in ``docs/observability.md``.
 """
 
+from .console import SafeWriter, safe_print
+from .critical_path import (
+    CriticalPathReport,
+    classify_label,
+    critical_path,
+    from_chrome_trace,
+)
+from .dashboard import render_ascii, render_html
 from .export import (
     METRICS_SCHEMA,
     chrome_trace_events,
@@ -27,29 +44,69 @@ from .export import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from .fidelity import (
+    DEFAULT_BAND,
+    FidelityStat,
+    check as fidelity_check,
+    diff_entries,
+    fidelity_report,
+    render_diff,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    LedgerError,
+    RunLedger,
+    bench_entry,
+    current_git_sha,
+    design_run_entry,
+    entries_from_metrics,
+    experiments_entry,
+)
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .overlap import OverlapReport, busy_by_resource, reconcile
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer, get_tracer, set_tracer
 
 __all__ = [
     "Counter",
+    "CriticalPathReport",
+    "DEFAULT_BAND",
+    "FidelityStat",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA",
+    "LedgerError",
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "OverlapReport",
     "REGISTRY",
+    "RunLedger",
+    "SafeWriter",
     "Span",
     "Tracer",
+    "bench_entry",
     "busy_by_resource",
     "chrome_trace_events",
+    "classify_label",
+    "critical_path",
+    "current_git_sha",
+    "design_run_entry",
+    "diff_entries",
+    "entries_from_metrics",
+    "experiments_entry",
+    "fidelity_check",
+    "fidelity_report",
+    "from_chrome_trace",
     "get_registry",
     "get_tracer",
     "metrics_summary",
     "read_metrics_jsonl",
     "reconcile",
+    "render_ascii",
+    "render_diff",
+    "render_html",
+    "safe_print",
     "set_tracer",
     "write_chrome_trace",
     "write_metrics_jsonl",

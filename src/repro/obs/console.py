@@ -1,0 +1,69 @@
+"""A BrokenPipe-safe console writer for CLI output.
+
+``repro-xd1 ... | head`` closes the pipe mid-output; a bare ``print``
+then raises :class:`BrokenPipeError`, and even a caught one resurfaces
+at interpreter exit when stdout's buffer is flushed.  Every CLI print
+goes through one :class:`SafeWriter` instead: the first EPIPE marks the
+writer dead, points the underlying stdout file descriptor at
+``/dev/null`` (so the exit-time flush is silent), and every later write
+becomes a no-op.  Commands keep their exit codes; only the output stops.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import sys
+from typing import Any, IO, Optional
+
+__all__ = ["SafeWriter", "safe_print"]
+
+
+class SafeWriter:
+    """``print`` that survives a closed stdout pipe.
+
+    ``stream=None`` (the default) resolves ``sys.stdout`` per call, so
+    pytest's ``capsys`` and test-installed streams are honoured.  A
+    writer constructed around an explicit stream never touches process
+    file descriptors -- only the default writer redirects the real
+    stdout to ``/dev/null`` once the pipe breaks.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream
+        self.dead = False
+
+    @property
+    def stream(self) -> IO[str]:
+        return self._stream if self._stream is not None else sys.stdout
+
+    def __call__(self, *args: Any, **kwargs: Any) -> None:
+        if self.dead:
+            return
+        kwargs.setdefault("file", self.stream)
+        try:
+            print(*args, **kwargs)
+        except BrokenPipeError:
+            self._die()
+        except OSError as exc:  # EPIPE surfaces as plain OSError on some streams
+            if exc.errno not in (errno.EPIPE, errno.EINVAL):
+                raise
+            self._die()
+
+    def reset(self) -> None:
+        """Revive a dead writer (per-invocation CLI isolation in tests)."""
+        self.dead = False
+
+    def _die(self) -> None:
+        self.dead = True
+        if self._stream is not None:
+            return
+        # Silence the interpreter's exit-time stdout flush as well.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass  # stdout has no usable fd (e.g. captured); nothing to silence
+
+
+#: The process-wide default writer; the CLI routes every print through it.
+safe_print = SafeWriter()

@@ -1,0 +1,238 @@
+"""Dashboard rendering for the model-fidelity observatory.
+
+Two renderers over the same ledger content:
+
+* :func:`render_ascii` -- a terminal/CI-log view: per app x preset
+  fidelity trend (latest / mean / range / drift plus a text sparkline)
+  and the latest critical-path attribution per app;
+* :func:`render_html` -- a self-contained HTML page (inline CSS + SVG,
+  no external assets or scripts) with the same content: a fidelity
+  table with trend sparklines and per-resource critical-path bars.
+
+Both are pure functions of the ledger entries so tests can pin them;
+the CLI front-end is ``repro-xd1 obs dashboard``.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Any, Optional
+
+from .critical_path import MODEL_TERMS
+from .fidelity import DEFAULT_BAND, FidelityStat, fidelity_report
+
+__all__ = ["render_ascii", "render_html", "text_sparkline"]
+
+#: Text sparkline levels, low to high (ASCII-safe for CI logs).
+_SPARK_LEVELS = " .:-=+*#@"
+
+
+def text_sparkline(values: list[float], width: int = 24) -> str:
+    """An ASCII sparkline of a series (newest values right-aligned)."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(tail)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(_SPARK_LEVELS[round((v - lo) / span * top)] for v in tail)
+
+
+def _latest_critical_paths(entries: list[dict[str, Any]]) -> dict[tuple[str, str], dict]:
+    """Newest ``critical_path`` summary per (app, preset)."""
+    out: dict[tuple[str, str], dict] = {}
+    for entry in entries:
+        cp = entry.get("critical_path")
+        if entry.get("kind") == "design_run" and cp:
+            out[(str(entry.get("app")), str(entry.get("preset")))] = cp
+    return out
+
+
+# ------------------------------------------------------------------ ASCII
+
+
+def render_ascii(entries: list[dict[str, Any]], band: float = DEFAULT_BAND) -> str:
+    """The terminal dashboard: fidelity trends + dominant bottlenecks."""
+    stats = fidelity_report(entries, band=band)
+    lines = [
+        "model-fidelity observatory",
+        f"  ledger entries: {len(entries)}  |  band: overlap_efficiency >= {band:.2f}",
+        "",
+        "fidelity (predicted max{T_tp, T_tf} vs simulated makespan):",
+    ]
+    if not stats:
+        lines.append("  (no design_run entries yet -- record some runs first)")
+    for st in stats:
+        status = "ok   " if st.latest >= band else "BELOW"
+        lines.append(
+            f"  [{status}] {st.app}@{st.preset:<6} latest {st.latest:.4f}  "
+            f"mean {st.mean:.4f}  range [{st.minimum:.4f}, {st.maximum:.4f}]  "
+            f"drift {st.drift:+.4f}  n={st.count}  |{text_sparkline(st.efficiencies)}|"
+        )
+    cps = _latest_critical_paths(entries)
+    if cps:
+        lines.append("")
+        lines.append("critical-path attribution (latest run per app):")
+        for (app, preset), cp in sorted(cps.items()):
+            dominant = cp.get("dominant", "?")
+            lines.append(
+                f"  {app}@{preset}: dominant {dominant} "
+                f"({100 * cp.get('dominant_fraction', 0.0):.1f}% of makespan, "
+                f"coverage {100 * cp.get('coverage', 0.0):.1f}%) -- "
+                f"{MODEL_TERMS.get(dominant, '')}"
+            )
+            makespan = cp.get("makespan") or 0.0
+            for res, secs in (cp.get("by_resource") or {}).items():
+                share = secs / makespan if makespan > 0 else 0.0
+                bar = "#" * max(1, round(share * 30)) if share > 0 else ""
+                lines.append(f"    {res:<5} {100 * share:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- HTML
+
+_HTML_STYLE = """
+:root {
+  --surface: #fcfcfb; --page: #f9f9f7; --ink: #0b0b0b; --ink-2: #52514e;
+  --muted: #898781; --grid: #e7e6e3; --series: #2a78d6;
+  --good: #0ca30c; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --page: #0d0d0d; --ink: #ffffff; --ink-2: #c3c2b7;
+    --muted: #898781; --grid: #383835; --series: #3987e5;
+    --good: #0ca30c; --critical: #d03b3b;
+  }
+}
+body { background: var(--page); color: var(--ink); margin: 2rem auto; max-width: 60rem;
+       font: 14px/1.5 ui-sans-serif, system-ui, sans-serif; }
+h1, h2 { font-weight: 600; } h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+.sub { color: var(--ink-2); }
+table { border-collapse: collapse; width: 100%; background: var(--surface);
+        border: 1px solid var(--grid); }
+th, td { text-align: left; padding: 0.4rem 0.7rem; border-bottom: 1px solid var(--grid);
+         font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; font-size: 0.85rem; }
+.num { text-align: right; }
+.status { font-size: 0.8rem; font-weight: 600; }
+.status.ok::before { content: "\\2713 "; } .status.ok { color: var(--good); }
+.status.below::before { content: "\\2717 "; } .status.below { color: var(--critical); }
+.bar { height: 10px; background: var(--series); border-radius: 0 4px 4px 0; min-width: 2px; }
+.bartrack { background: var(--surface); width: 180px; }
+.lane { color: var(--ink-2); font-size: 0.85rem; }
+svg.spark polyline { fill: none; stroke: var(--series); stroke-width: 2; }
+svg.spark line { stroke: var(--grid); stroke-width: 1; }
+"""
+
+
+def _spark_svg(values: list[float], band: float, width: int = 140, height: int = 32) -> str:
+    """Inline SVG sparkline of one efficiency series with the band line."""
+    if not values:
+        return ""
+    tail = values[-24:]
+    lo = min(tail + [band]) - 1e-9
+    hi = max(tail + [band]) + 1e-9
+    pad = 0.08 * (hi - lo)
+    lo, hi = lo - pad, hi + pad
+
+    def y(v: float) -> float:
+        return height - 3 - (v - lo) / (hi - lo) * (height - 6)
+
+    if len(tail) == 1:
+        xs = [width / 2]
+    else:
+        xs = [3 + i * (width - 6) / (len(tail) - 1) for i in range(len(tail))]
+    points = " ".join(f"{x:.1f},{y(v):.1f}" for x, v in zip(xs, tail))
+    band_y = y(band)
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" role="img" '
+        f'aria-label="efficiency trend, {len(tail)} runs">'
+        f'<line x1="0" y1="{band_y:.1f}" x2="{width}" y2="{band_y:.1f}"/>'
+        f'<polyline points="{points}"/>'
+        + (f'<circle cx="{xs[-1]:.1f}" cy="{y(tail[-1]):.1f}" r="3" fill="var(--series)"/>')
+        + "</svg>"
+    )
+
+
+def _fidelity_rows(stats: list[FidelityStat], band: float) -> str:
+    rows = []
+    for st in stats:
+        ok = st.latest >= band
+        rows.append(
+            "<tr>"
+            f"<td>{escape(st.app)}@{escape(st.preset)}</td>"
+            f'<td class="status {"ok" if ok else "below"}">{"ok" if ok else "below band"}</td>'
+            f'<td class="num">{st.latest:.4f}</td>'
+            f'<td class="num">{st.mean:.4f}</td>'
+            f'<td class="num">[{st.minimum:.4f}, {st.maximum:.4f}]</td>'
+            f'<td class="num">{st.drift:+.4f}</td>'
+            f'<td class="num">{st.count}</td>'
+            f"<td>{_spark_svg(st.efficiencies, band)}</td>"
+            "</tr>"
+        )
+    return "\n".join(rows)
+
+
+def _critical_path_tables(entries: list[dict[str, Any]]) -> str:
+    blocks = []
+    for (app, preset), cp in sorted(_latest_critical_paths(entries).items()):
+        makespan = cp.get("makespan") or 0.0
+        dominant = cp.get("dominant", "?")
+        rows = []
+        for res, secs in (cp.get("by_resource") or {}).items():
+            share = secs / makespan if makespan > 0 else 0.0
+            rows.append(
+                "<tr>"
+                f"<td>{escape(res)}</td>"
+                f'<td class="num">{secs:.4g}s</td>'
+                f'<td class="num">{100 * share:.1f}%</td>'
+                f'<td class="bartrack"><div class="bar" style="width:{max(2, round(share * 180))}px"></div></td>'
+                f'<td class="lane">{escape(MODEL_TERMS.get(res, ""))}</td>'
+                "</tr>"
+            )
+        blocks.append(
+            f"<h2>{escape(app)}@{escape(preset)} critical path</h2>"
+            f'<p class="sub">dominant resource: <strong>{escape(dominant)}</strong> '
+            f"({100 * cp.get('dominant_fraction', 0.0):.1f}% of the makespan; "
+            f"chain coverage {100 * cp.get('coverage', 0.0):.1f}%)</p>"
+            "<table><thead><tr><th>resource</th><th class='num'>chain time</th>"
+            "<th class='num'>share</th><th>share of makespan</th><th>model term</th></tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+    return "\n".join(blocks)
+
+
+def render_html(
+    entries: list[dict[str, Any]],
+    band: float = DEFAULT_BAND,
+    title: str = "Model-fidelity observatory",
+) -> str:
+    """The self-contained HTML dashboard page."""
+    stats = fidelity_report(entries, band=band)
+    fidelity_table = (
+        "<table><thead><tr><th>series</th><th>status</th><th class='num'>latest</th>"
+        "<th class='num'>mean</th><th class='num'>range</th><th class='num'>drift</th>"
+        "<th class='num'>runs</th><th>trend (band line = floor)</th></tr></thead>"
+        f"<tbody>{_fidelity_rows(stats, band)}</tbody></table>"
+        if stats
+        else '<p class="sub">No design_run entries recorded yet.</p>'
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{escape(title)}</title>
+<style>{_HTML_STYLE}</style>
+</head>
+<body>
+<h1>{escape(title)}</h1>
+<p class="sub">{len(entries)} ledger entries &middot; fidelity band: overlap_efficiency &ge; {band:.2f}
+(the paper's Section 4.5 &ldquo;&gt;85% of max{{T_tp, T_tf}}&rdquo; claim)</p>
+<h2>Prediction fidelity by app &times; preset</h2>
+{fidelity_table}
+{_critical_path_tables(entries)}
+</body>
+</html>
+"""

@@ -1,0 +1,211 @@
+"""Cross-run model-fidelity analysis over the run ledger.
+
+The paper's headline empirical claim (Section 4.5) is that the measured
+designs reach >85% of the analytical bound ``max{T_tp, T_tf}``.  A
+single CI run checks that at one point in time; this module turns the
+ledger's ``design_run`` entries into *series* so fidelity is observable
+across commits:
+
+* :func:`fidelity_report` -- per app x preset prediction-error series:
+  latest / mean / extremes of ``overlap_efficiency``, plus drift of the
+  latest run against the history;
+* :func:`check` -- the gate: band violations (efficiency below the
+  configurable 85% floor) are failures, drift beyond a tolerance is a
+  warning;
+* :func:`diff_entries` -- field-by-field deltas between any two ledger
+  entries (partition decisions, predictions, measurements,
+  utilisations), for "what changed between these two runs" forensics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "DEFAULT_BAND",
+    "DEFAULT_DRIFT_TOLERANCE",
+    "FidelityStat",
+    "FieldDelta",
+    "check",
+    "diff_entries",
+    "fidelity_report",
+    "render_diff",
+    "series_by_app_preset",
+]
+
+#: The paper's Section 4.5 claim: measured >= 85% of max{T_tp, T_tf}.
+DEFAULT_BAND = 0.85
+
+#: Latest-vs-history efficiency drift that triggers a (non-fatal) warning.
+DEFAULT_DRIFT_TOLERANCE = 0.05
+
+
+def _efficiency(entry: dict[str, Any]) -> Optional[float]:
+    value = (entry.get("measured") or {}).get("overlap_efficiency")
+    return float(value) if value is not None else None
+
+
+def series_by_app_preset(entries: list[dict[str, Any]]) -> dict[tuple[str, str], list[dict]]:
+    """``design_run`` entries grouped by (app, preset), append order kept."""
+    series: dict[tuple[str, str], list[dict]] = {}
+    for entry in entries:
+        if entry.get("kind") != "design_run" or _efficiency(entry) is None:
+            continue
+        key = (str(entry.get("app")), str(entry.get("preset")))
+        series.setdefault(key, []).append(entry)
+    return series
+
+
+@dataclass
+class FidelityStat:
+    """Prediction-error statistics of one app x preset series."""
+
+    app: str
+    preset: str
+    count: int
+    latest: float  # newest overlap_efficiency
+    mean: float
+    minimum: float
+    maximum: float
+    drift: float  # latest minus the mean of the preceding runs (0 if none)
+    below_band: list[int] = field(default_factory=list)  # seq of violating entries
+    efficiencies: list[float] = field(default_factory=list)  # append order
+
+    def summary(self, band: float = DEFAULT_BAND) -> str:
+        flag = "" if not self.below_band else f"  BELOW BAND (seq {self.below_band})"
+        return (
+            f"{self.app}@{self.preset}: latest {self.latest:.4f}, "
+            f"mean {self.mean:.4f} over {self.count} run(s), "
+            f"range [{self.minimum:.4f}, {self.maximum:.4f}], "
+            f"drift {self.drift:+.4f} (band >= {band:.2f}){flag}"
+        )
+
+
+def fidelity_report(
+    entries: list[dict[str, Any]], band: float = DEFAULT_BAND
+) -> list[FidelityStat]:
+    """Per app x preset fidelity statistics, sorted by (app, preset)."""
+    stats = []
+    for (app, preset), series in sorted(series_by_app_preset(entries).items()):
+        effs = [_efficiency(e) for e in series]
+        prior = effs[:-1]
+        drift = effs[-1] - (sum(prior) / len(prior)) if prior else 0.0
+        stats.append(
+            FidelityStat(
+                app=app,
+                preset=preset,
+                count=len(effs),
+                latest=effs[-1],
+                mean=sum(effs) / len(effs),
+                minimum=min(effs),
+                maximum=max(effs),
+                drift=drift,
+                below_band=[int(e.get("seq", -1)) for e, f in zip(series, effs) if f < band],
+                efficiencies=effs,
+            )
+        )
+    return stats
+
+
+def check(
+    entries: list[dict[str, Any]],
+    band: float = DEFAULT_BAND,
+    drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+    app: Optional[str] = None,
+) -> tuple[list[str], list[str]]:
+    """The fidelity gate: ``(failures, warnings)`` message lists.
+
+    A series *fails* when its latest run's ``overlap_efficiency`` falls
+    below ``band`` (exactly meeting the band passes).  Drift of the
+    latest run beyond ``drift_tolerance`` from the series history is a
+    warning only -- efficiency moving *up* still signals a stale model
+    calibration worth investigating, not a regression.
+    """
+    failures, warnings = [], []
+    stats = fidelity_report(entries, band=band)
+    if app is not None:
+        stats = [st for st in stats if st.app == app]
+    for st in stats:
+        if st.latest < band:
+            failures.append(
+                f"{st.app}@{st.preset}: latest overlap_efficiency {st.latest:.4f} "
+                f"below the {band:.2f} band"
+            )
+        if st.count > 1 and abs(st.drift) > drift_tolerance:
+            warnings.append(
+                f"{st.app}@{st.preset}: efficiency drifted {st.drift:+.4f} vs the "
+                f"prior mean (tolerance {drift_tolerance:.2f}) -- model fidelity moved"
+            )
+    return failures, warnings
+
+
+# ------------------------------------------------------------------ diff
+
+#: Envelope fields never worth diffing numerically.
+_SKIP_FIELDS = {"schema", "seq", "ts"}
+
+
+@dataclass(frozen=True)
+class FieldDelta:
+    """One differing field between two ledger entries."""
+
+    path: str  # dotted field path, e.g. "measured.overlap_efficiency"
+    a: Any
+    b: Any
+
+    @property
+    def delta(self) -> Optional[float]:
+        if isinstance(self.a, (int, float)) and isinstance(self.b, (int, float)):
+            return float(self.b) - float(self.a)
+        return None
+
+    @property
+    def relative(self) -> Optional[float]:
+        d = self.delta
+        if d is None or not self.a:
+            return None
+        return d / abs(float(self.a))
+
+    def render(self) -> str:
+        if self.delta is not None:
+            rel = f", {100 * self.relative:+.2f}%" if self.relative is not None else ""
+            return f"{self.path}: {self.a:g} -> {self.b:g} (delta {self.delta:+g}{rel})"
+        return f"{self.path}: {self.a!r} -> {self.b!r}"
+
+
+def _walk(a: Any, b: Any, path: str, out: list[FieldDelta]) -> None:
+    if isinstance(a, dict) or isinstance(b, dict):
+        a = a if isinstance(a, dict) else {}
+        b = b if isinstance(b, dict) else {}
+        for key in sorted(set(a) | set(b)):
+            if not path and key in _SKIP_FIELDS:
+                continue
+            _walk(a.get(key), b.get(key), f"{path}.{key}" if path else key, out)
+        return
+    if a != b:
+        out.append(FieldDelta(path, a, b))
+
+
+def diff_entries(a: dict[str, Any], b: dict[str, Any]) -> list[FieldDelta]:
+    """Every field that differs between two ledger entries.
+
+    Nested dicts are flattened to dotted paths; ``schema``/``seq``/``ts``
+    (which differ by construction) are skipped at the top level.
+    """
+    out: list[FieldDelta] = []
+    _walk(a, b, "", out)
+    return out
+
+
+def render_diff(a: dict[str, Any], b: dict[str, Any]) -> str:
+    """Human-readable per-field diff of two ledger entries."""
+    header = (
+        f"ledger diff: seq {a.get('seq')} ({a.get('app')}@{a.get('preset')}, "
+        f"{a.get('git_sha', '')[:10]}) -> seq {b.get('seq')} "
+        f"({b.get('app')}@{b.get('preset')}, {b.get('git_sha', '')[:10]})"
+    )
+    deltas = diff_entries(a, b)
+    if not deltas:
+        return header + "\n  (no differing fields)"
+    return header + "\n" + "\n".join(f"  {d.render()}" for d in deltas)

@@ -1,0 +1,354 @@
+"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 2``).
+
+Every instrumented run -- an LU/FW/MM design run, an experiments sweep,
+a ``bench_perf_regression`` baseline check -- can append one *manifest*
+line to a JSON-lines ledger file.  A manifest records everything needed
+to compare runs across commits and machines: git SHA, machine preset,
+the partition decisions ``(b_p, b_f, l)`` / ``(l1, l2)`` / ``(m_f, r)``,
+the model prediction ``max{T_tp, T_tf}``, the simulated makespan,
+``overlap_efficiency``, per-resource utilisation, DES throughput, and a
+critical-path attribution summary.
+
+The ledger is the persistence layer of the model-fidelity observatory:
+:mod:`repro.obs.fidelity` analyses prediction-error series across
+entries, and :mod:`repro.obs.dashboard` renders them.  Schema
+documentation lives in ``docs/observability.md``.
+
+Like the rest of :mod:`repro.obs`, this module imports nothing from the
+rest of :mod:`repro` (stdlib only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LedgerError",
+    "RunLedger",
+    "current_git_sha",
+    "design_run_entry",
+    "entries_from_metrics",
+    "experiments_entry",
+    "bench_entry",
+]
+
+#: Current ledger schema version.  Schema 1 was the metrics-file format
+#: (``METRICS_SCHEMA``); the ledger introduces the cross-run manifest as
+#: schema 2.  Bump on breaking changes to the entry layout.
+LEDGER_SCHEMA = 2
+
+#: Entry kinds the observatory understands.  ``design_run`` entries feed
+#: the fidelity analysis; the others are audit records.
+ENTRY_KINDS = ("design_run", "experiments", "bench")
+
+#: Environment override for :func:`current_git_sha` (useful in CI and
+#: in tests where the checkout SHA is not the interesting identity).
+GIT_SHA_ENV_VAR = "REPRO_GIT_SHA"
+
+
+class LedgerError(ValueError):
+    """A ledger file or entry violates the schema."""
+
+
+def current_git_sha(cwd: Optional[str | Path] = None) -> str:
+    """The current git commit SHA, or ``"unknown"`` outside a checkout.
+
+    ``REPRO_GIT_SHA`` overrides the lookup entirely (no subprocess).
+    """
+    env = os.environ.get(GIT_SHA_ENV_VAR)
+    if env:
+        return env
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+class RunLedger:
+    """An append-only JSON-lines ledger of run manifests.
+
+    One entry per line; ``append`` assigns the schema version, a
+    monotonically increasing ``seq`` and a UTC timestamp, then appends
+    atomically-enough for a single writer (one ``write`` of one line in
+    append mode).  Existing lines are never rewritten.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.is_dir():
+            self.path = self.path / "ledger.jsonl"
+
+    # -- write ----------------------------------------------------------
+
+    def append(self, entry: dict[str, Any]) -> dict[str, Any]:
+        """Append one entry; fills ``schema``/``seq``/``ts``; returns it."""
+        kind = entry.get("kind")
+        if kind not in ENTRY_KINDS:
+            raise LedgerError(f"unknown ledger entry kind {kind!r}; expected one of {ENTRY_KINDS}")
+        entry = dict(entry)
+        entry["schema"] = LEDGER_SCHEMA
+        entry.setdefault("ts", _utc_now_iso())
+        entry["seq"] = self._next_seq()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
+
+    def _next_seq(self) -> int:
+        if not self.path.is_file():
+            return 1
+        last = 0
+        for entry in self.entries():
+            last = max(last, int(entry.get("seq", 0)))
+        return last + 1
+
+    # -- read -----------------------------------------------------------
+
+    def entries(
+        self, app: Optional[str] = None, kind: Optional[str] = None
+    ) -> list[dict[str, Any]]:
+        """All entries in append order, optionally filtered by app/kind.
+
+        Raises :class:`LedgerError` naming the line for malformed JSON
+        or a schema version newer than this reader understands.
+        """
+        if not self.path.is_file():
+            return []
+        out: list[dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise LedgerError(f"{self.path}:{lineno}: malformed ledger line ({exc})") from exc
+                if not isinstance(entry, dict):
+                    raise LedgerError(f"{self.path}:{lineno}: ledger line is not an object")
+                schema = entry.get("schema")
+                if not isinstance(schema, int) or schema > LEDGER_SCHEMA:
+                    raise LedgerError(
+                        f"{self.path}:{lineno}: unsupported ledger schema {schema!r} "
+                        f"(this reader understands <= {LEDGER_SCHEMA})"
+                    )
+                if app is not None and entry.get("app") != app:
+                    continue
+                if kind is not None and entry.get("kind") != kind:
+                    continue
+                out.append(entry)
+        return out
+
+    def resolve(self, ref: str | int) -> dict[str, Any]:
+        """One entry by reference: a ``seq`` number, a negative index
+        from the end (``-1`` is the latest), or ``"latest"``."""
+        entries = self.entries()
+        if not entries:
+            raise LedgerError(f"ledger {self.path} is empty")
+        if ref == "latest":
+            return entries[-1]
+        try:
+            num = int(ref)
+        except (TypeError, ValueError):
+            raise LedgerError(f"bad entry reference {ref!r}: expected a seq number, "
+                              f"a negative index, or 'latest'") from None
+        if num < 0:
+            try:
+                return entries[num]
+            except IndexError:
+                raise LedgerError(f"index {num} out of range ({len(entries)} entries)") from None
+        for entry in entries:
+            if entry.get("seq") == num:
+                return entry
+        raise LedgerError(f"no entry with seq {num} in {self.path}")
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+# ------------------------------------------------------------- builders
+
+
+def design_run_entry(
+    overlap_record: dict[str, Any],
+    *,
+    preset: Optional[str] = None,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    des: Optional[dict[str, Any]] = None,
+    critical_path: Optional[dict[str, Any]] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """A ``design_run`` manifest from one metrics-file overlap record.
+
+    ``overlap_record`` is the ``kind == "overlap"`` dict written by
+    :meth:`repro.obs.overlap.OverlapReport.to_dict` (meta carries the
+    run parameters and the design's partition decisions).
+    """
+    if overlap_record.get("kind") != "overlap":
+        raise LedgerError(f"not an overlap record: kind={overlap_record.get('kind')!r}")
+    meta = overlap_record.get("meta") or {}
+    params = {
+        key: meta[key] for key in ("n", "b", "p", "iterations_run") if meta.get(key) is not None
+    }
+    predicted = {
+        "t_tp": overlap_record.get("t_tp"),
+        "t_tf": overlap_record.get("t_tf"),
+        "latency": overlap_record.get("predicted_latency"),
+    }
+    if meta.get("model_latency") is not None:
+        predicted["model_latency"] = meta["model_latency"]
+    measured = {
+        "makespan": overlap_record.get("simulated_makespan"),
+        "overlap_efficiency": overlap_record.get("overlap_efficiency"),
+        "slowdown_vs_model": overlap_record.get("slowdown_vs_model"),
+    }
+    if meta.get("gflops") is not None:
+        measured["gflops"] = meta["gflops"]
+    entry: dict[str, Any] = {
+        "kind": "design_run",
+        "app": overlap_record.get("app"),
+        "preset": preset or "xd1",
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "params": params,
+        "partition": dict(meta.get("partition") or {}),
+        "predicted": predicted,
+        "measured": measured,
+        "utilisation": dict(overlap_record.get("utilisation") or {}),
+    }
+    if des:
+        entry["des"] = dict(des)
+    if critical_path:
+        entry["critical_path"] = dict(critical_path)
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def _des_stats(records: Iterable[dict[str, Any]], app: str) -> dict[str, Any]:
+    """DES counters for ``app`` from metrics records (events, throughput)."""
+    out: dict[str, Any] = {}
+    for rec in records:
+        if rec.get("labels", {}).get("app") != app:
+            continue
+        name = rec.get("name")
+        if name == "des.events_fired":
+            out["events_fired"] = rec.get("value")
+        elif name == "des.events_per_s":
+            out["events_per_s"] = rec.get("value")
+    return out
+
+
+def entries_from_metrics(
+    records: list[dict[str, Any]],
+    *,
+    preset: Optional[str] = None,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    critical_paths: Optional[dict[str, dict[str, Any]]] = None,
+    note: Optional[str] = None,
+) -> list[dict[str, Any]]:
+    """``design_run`` manifests for every overlap record in a metrics file.
+
+    ``records`` is the list from :func:`repro.obs.export.read_metrics_jsonl`;
+    the header's ``preset`` (when recorded there) seeds the default.
+    ``critical_paths`` maps app name -> critical-path summary dict (as
+    produced by :meth:`repro.obs.critical_path.CriticalPathReport.to_dict`).
+    """
+    header = next((r for r in records if r.get("kind") == "header"), {})
+    preset = preset or header.get("preset") or "xd1"
+    entries = []
+    for rec in records:
+        if rec.get("kind") != "overlap":
+            continue
+        app = rec.get("app")
+        entries.append(
+            design_run_entry(
+                rec,
+                preset=preset,
+                source=source,
+                git_sha=git_sha,
+                des=_des_stats(records, app) or None,
+                critical_path=(critical_paths or {}).get(app),
+                note=note,
+            )
+        )
+    if not entries:
+        raise LedgerError("no overlap records in metrics file; run with --metrics-out first")
+    return entries
+
+
+def experiments_entry(
+    results: Iterable[tuple[str, bool]],
+    *,
+    sim_points: Optional[int] = None,
+    preset: str = "xd1",
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """An ``experiments`` manifest: which reproduction checks passed."""
+    checks = {name: bool(ok) for name, ok in results}
+    entry: dict[str, Any] = {
+        "kind": "experiments",
+        "app": "experiments",
+        "preset": preset,
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "checks": checks,
+        "passed": sum(checks.values()),
+        "failed": sum(1 for ok in checks.values() if not ok),
+    }
+    if sim_points is not None:
+        entry["sim_points"] = sim_points
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def bench_entry(
+    outcomes: dict[str, dict[str, Any]],
+    *,
+    tolerance: Optional[float] = None,
+    source: str = "bench",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """A ``bench`` manifest: one baseline-check outcome per benchmark.
+
+    ``outcomes`` maps bench name -> ``{"measured": ..., "baseline": ...,
+    "status": "ok" | "regression" | "stale-baseline"}``.
+    """
+    statuses = {o.get("status") for o in outcomes.values()}
+    entry: dict[str, Any] = {
+        "kind": "bench",
+        "app": "bench",
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "outcomes": outcomes,
+        "ok": "regression" not in statuses,
+    }
+    if tolerance is not None:
+        entry["tolerance"] = tolerance
+    if note:
+        entry["note"] = note
+    return entry

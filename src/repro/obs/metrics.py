@@ -141,6 +141,11 @@ class Histogram:
         """Approximate quantile by linear interpolation within buckets.
 
         Returns 0.0 for an empty histogram; exact min/max at q=0/1.
+        The interpolated value is clamped to the observed ``[min, max]``
+        -- without the clamp, a bucket's nominal bounds leak into the
+        answer (most visibly in the overflow bucket, whose only honest
+        upper bound is the observed max, and in sparse buckets whose
+        upper bound exceeds every sample).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -157,7 +162,7 @@ class Histogram:
                 lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
                 hi = self.bounds[i] if i < len(self.bounds) else self.max
                 frac = (target - seen) / c
-                return lo + (hi - lo) * frac
+                return min(max(lo + (hi - lo) * frac, self.min), self.max)
             seen += c
         return self.max  # pragma: no cover - defensive
 

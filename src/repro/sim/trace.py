@@ -164,6 +164,36 @@ class Trace:
         rows.append(f"{'':<{label_w}}  0{'':{width - len(f'{horizon:.3g}') - 1}}{horizon:.3g}s")
         return "\n".join(rows)
 
+    def as_records(self) -> list[dict[str, Any]]:
+        """Every interval as a JSON-able record (ledger / offline tools).
+
+        The record shape matches what
+        :func:`repro.obs.critical_path.from_chrome_trace` produces, so
+        live traces and reloaded Chrome-trace files are interchangeable
+        inputs to the critical-path walker.
+        """
+        return [
+            {
+                "category": iv.category,
+                "label": iv.label,
+                "start": iv.start,
+                "end": iv.end,
+                **({"meta": iv.meta} if iv.meta else {}),
+            }
+            for iv in self.intervals
+        ]
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "Trace":
+        """Rebuild a trace from :meth:`as_records` output."""
+        trace = cls()
+        for rec in records:
+            trace.record(
+                rec["category"], rec.get("label", ""), rec["start"], rec["end"],
+                **(rec.get("meta") or {}),
+            )
+        return trace
+
     def utilisation_by_prefix(self, prefix: str) -> dict[str, float]:
         """Utilisation of every lane whose category starts with ``prefix``."""
         horizon = self.makespan()

@@ -1,0 +1,218 @@
+"""Tests for the observability CLI family and the BrokenPipe-safe writer."""
+
+import errno
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.console import SafeWriter
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    """Instrumented CLI runs install a live tracer; put the default back."""
+    from repro.obs import get_tracer, set_tracer
+
+    prev = get_tracer()
+    yield
+    set_tracer(prev)
+
+
+def _metrics_file(tmp_path, efficiency=0.9943, app="lu", name="m.jsonl"):
+    """A minimal metrics JSON-lines file with one overlap record."""
+    path = tmp_path / name
+    records = [
+        {"kind": "header", "schema": 1, "app": app, "preset": "xd1"},
+        {
+            "kind": "overlap",
+            "app": app,
+            "t_tp": 25.0,
+            "t_tf": 2.0,
+            "predicted_latency": 25.0,
+            "simulated_makespan": 25.0 / efficiency,
+            "overlap_efficiency": efficiency,
+            "slowdown_vs_model": 1.0 / efficiency,
+            "utilisation": {"cpu": 0.2},
+            "meta": {"n": 6000, "b": 3000, "p": 6, "partition": {"b_p": 1920}},
+        },
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+# ---------------------------------------------------------------- obs check
+
+
+def test_obs_check_missing_file_exits_2(tmp_path, capsys):
+    assert main(["obs", "check", "--metrics", str(tmp_path / "nope.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_obs_check_malformed_jsonl_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "header"}\n{oops\n')
+    assert main(["obs", "check", "--metrics", str(path)]) == 2
+    assert "not JSON-lines" in capsys.readouterr().out
+
+
+def test_obs_check_boundary_equal_min_passes(tmp_path, capsys):
+    """--min exactly equal to the measured efficiency must pass."""
+    path = _metrics_file(tmp_path, efficiency=0.91)
+    assert main(["obs", "check", "--metrics", str(path), "--min", "0.91"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_obs_check_below_min_fails(tmp_path, capsys):
+    path = _metrics_file(tmp_path, efficiency=0.80)
+    assert main(["obs", "check", "--metrics", str(path), "--min", "0.85"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_obs_check_app_filter_without_match_exits_2(tmp_path, capsys):
+    path = _metrics_file(tmp_path, app="lu")
+    assert main(["obs", "check", "--metrics", str(path), "--app", "fw"]) == 2
+
+
+def test_obs_summary_missing_file_exits_2(tmp_path, capsys):
+    assert main(["obs", "summary", "--metrics", str(tmp_path / "nope.jsonl")]) == 2
+
+
+# -------------------------------------------------------------- ledger CLI
+
+
+def test_ledger_cli_end_to_end(tmp_path, capsys, monkeypatch):
+    """record -> list -> diff -> check -> dashboard on synthetic metrics."""
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+    ledger = str(tmp_path / "ledger.jsonl")
+    m1 = _metrics_file(tmp_path, efficiency=0.99)
+    assert main(["obs", "ledger", "record", "--metrics", str(m1),
+                 "--ledger", ledger, "--note", "first"]) == 0
+    out = capsys.readouterr().out
+    assert "recorded seq 1: lu@xd1" in out
+
+    m2 = _metrics_file(tmp_path, efficiency=0.97, name="m2.jsonl")
+    assert main(["obs", "ledger", "record", "--metrics", str(m2), "--ledger", ledger]) == 0
+    capsys.readouterr()
+
+    assert main(["obs", "ledger", "list", "--ledger", ledger]) == 0
+    out = capsys.readouterr().out
+    assert "run ledger" in out and "cafebabe"[:8] in out
+    assert "0.9900" in out and "0.9700" in out
+
+    assert main(["obs", "ledger", "diff", "--ledger", ledger, "1", "latest"]) == 0
+    out = capsys.readouterr().out
+    assert "measured.overlap_efficiency" in out
+    assert "0.99 -> 0.97" in out
+
+    assert main(["obs", "ledger", "check", "--ledger", ledger, "--band", "0.85"]) == 0
+    out = capsys.readouterr().out
+    assert "fidelity ok" in out
+
+    html = tmp_path / "dash.html"
+    assert main(["obs", "dashboard", "--ledger", ledger, "--html", str(html)]) == 0
+    out = capsys.readouterr().out
+    assert "model-fidelity observatory" in out
+    assert html.is_file() and "<svg" in html.read_text()
+
+
+def test_ledger_check_fails_below_band(tmp_path, capsys):
+    ledger = str(tmp_path / "ledger.jsonl")
+    path = _metrics_file(tmp_path, efficiency=0.70)
+    assert main(["obs", "ledger", "record", "--metrics", str(path), "--ledger", ledger]) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger", "check", "--ledger", ledger, "--band", "0.85"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "below the 0.85 band" in out
+
+
+def test_ledger_check_boundary_band_passes(tmp_path, capsys):
+    ledger = str(tmp_path / "ledger.jsonl")
+    path = _metrics_file(tmp_path, efficiency=0.85)
+    assert main(["obs", "ledger", "record", "--metrics", str(path), "--ledger", ledger]) == 0
+    capsys.readouterr()
+    assert main(["obs", "ledger", "check", "--ledger", ledger, "--band", "0.85"]) == 0
+
+
+def test_ledger_check_empty_ledger_exits_2(tmp_path, capsys):
+    assert main(["obs", "ledger", "check", "--ledger", str(tmp_path / "l.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_ledger_record_missing_metrics_exits_2(tmp_path, capsys):
+    assert main(["obs", "ledger", "record", "--metrics", str(tmp_path / "no.jsonl"),
+                 "--ledger", str(tmp_path / "l.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_ledger_record_with_trace_attaches_critical_path(tmp_path, capsys, monkeypatch):
+    """A real traced run: the manifest carries the critical-path summary."""
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+    metrics = tmp_path / "m.jsonl"
+    trace = tmp_path / "t.json"
+    assert main(["lu", "--n", "6000",
+                 "--metrics-out", str(metrics), "--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    ledger = str(tmp_path / "ledger.jsonl")
+    assert main(["obs", "ledger", "record", "--metrics", str(metrics),
+                 "--trace", str(trace), "--ledger", ledger]) == 0
+    out = capsys.readouterr().out
+    assert "critical path: cpu" in out
+    entry = json.loads((tmp_path / "ledger.jsonl").read_text().splitlines()[0])
+    assert entry["critical_path"]["dominant"] == "cpu"
+    assert entry["des"]["events_per_s"] > 0
+    assert entry["partition"]["b_f"] > 0
+
+
+def test_cli_lu_cache_flag_prints_footer(tmp_path, capsys):
+    cache = str(tmp_path / "rc")
+    assert main(["lu", "--n", "6000", "--cache", cache]) == 0
+    out = capsys.readouterr().out
+    assert "1 misses" in out and out.count("cache ") >= 1
+    assert main(["lu", "--n", "6000", "--cache", cache]) == 0
+    out = capsys.readouterr().out
+    assert "1 hits" in out and "0 misses" in out
+
+
+# ------------------------------------------------------------- SafeWriter
+
+
+def test_safe_writer_survives_broken_pipe():
+    class Boom(io.StringIO):
+        def write(self, s):
+            raise BrokenPipeError()
+
+    w = SafeWriter(Boom())
+    w("hello")  # must not raise
+    assert w.dead
+    w("again")  # no-op once dead
+    w.reset()
+    assert not w.dead
+
+
+def test_safe_writer_treats_epipe_oserror_as_broken_pipe():
+    class Epipe(io.StringIO):
+        def write(self, s):
+            raise OSError(errno.EPIPE, "broken pipe")
+
+    w = SafeWriter(Epipe())
+    w("hello")
+    assert w.dead
+
+
+def test_safe_writer_reraises_other_oserrors():
+    class Enospc(io.StringIO):
+        def write(self, s):
+            raise OSError(errno.ENOSPC, "no space")
+
+    w = SafeWriter(Enospc())
+    with pytest.raises(OSError):
+        w("hello")
+    assert not w.dead
+
+
+def test_safe_writer_default_resolves_current_stdout(capsys):
+    w = SafeWriter()
+    w("captured line")
+    assert "captured line" in capsys.readouterr().out

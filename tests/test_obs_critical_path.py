@@ -1,0 +1,168 @@
+"""Tests for critical-path attribution (repro.obs.critical_path)."""
+
+import pytest
+
+from repro.apps.lu import LuDesign
+from repro.machine import cray_xd1
+from repro.obs import critical_path, from_chrome_trace, write_chrome_trace
+from repro.obs.critical_path import MODEL_TERMS, classify_label, resource_of_lane
+
+
+def _iv(lane, label, start, end):
+    return {"category": lane, "label": label, "start": start, "end": end}
+
+
+# ---------------------------------------------------------- classification
+
+
+def test_classify_label_prefixes():
+    assert classify_label("mpi:bcast") == "communication"
+    assert classify_label("stage:panel") == "staging"
+    assert classify_label("opMS[3]") == "compute"
+    assert classify_label("dgetrf") == "compute"
+    assert classify_label("anything-else") == "compute"
+
+
+def test_resource_of_lane():
+    assert resource_of_lane("cpu3") == "cpu"
+    assert resource_of_lane("fpga0") == "fpga"
+    assert resource_of_lane("dram2->") == "dram"
+    assert resource_of_lane("weird") == "other"
+
+
+def test_model_terms_cover_all_resources():
+    for res in ("cpu", "fpga", "dram", "net", "sram", "mpi", "idle", "other"):
+        assert res in MODEL_TERMS
+
+
+# ------------------------------------------------------------------- walk
+
+
+def test_alternating_phases_split_between_resources():
+    intervals = [
+        _iv("cpu0", "op", 0.0, 2.0),
+        _iv("fpga0", "gemm", 2.0, 5.0),
+        _iv("cpu0", "op", 5.0, 6.0),
+    ]
+    report = critical_path(intervals)
+    assert report.makespan == pytest.approx(6.0)
+    assert report.by_resource == pytest.approx({"fpga": 3.0, "cpu": 3.0})
+    assert report.dominant_fraction == pytest.approx(0.5)
+    assert report.coverage == pytest.approx(1.0)
+    assert [seg.resource for seg in report.segments] == ["cpu", "fpga", "cpu"]
+
+
+def test_uncovered_time_becomes_idle():
+    intervals = [_iv("cpu0", "op", 0.0, 1.0), _iv("cpu0", "op", 3.0, 4.0)]
+    report = critical_path(intervals)
+    assert report.by_resource["idle"] == pytest.approx(2.0)
+    assert report.coverage == pytest.approx(0.5)
+    # idle never counts as the dominant resource while work exists
+    assert report.dominant_resource == "cpu"
+
+
+def test_overlapping_intervals_attribute_once():
+    intervals = [
+        _iv("cpu0", "op", 0.0, 10.0),
+        _iv("fpga0", "gemm", 2.0, 8.0),  # fully shadowed by the cpu interval
+    ]
+    report = critical_path(intervals)
+    assert report.by_resource == pytest.approx({"cpu": 10.0})
+    assert sum(report.by_resource.values()) == pytest.approx(report.makespan)
+
+
+def test_work_lanes_preferred_over_mpi_waits():
+    """A blocking recv spanning the run must not mask the real producers."""
+    intervals = [
+        _iv("mpi1", "mpi:recv<-0", 0.0, 10.0),  # worker waiting the whole time
+        _iv("cpu0", "dgetrf", 0.0, 6.0),  # the serial panel actually gating
+        _iv("fpga0", "gemm", 6.0, 10.0),
+    ]
+    report = critical_path(intervals)
+    assert "mpi" not in report.by_resource
+    assert report.by_resource == pytest.approx({"cpu": 6.0, "fpga": 4.0})
+    assert report.dominant_resource == "cpu"
+
+
+def test_mpi_attributed_when_nothing_else_covers():
+    intervals = [
+        _iv("cpu0", "op", 0.0, 4.0),
+        _iv("mpi0", "mpi:bcast", 4.0, 6.0),  # only activity in [4, 6]
+    ]
+    report = critical_path(intervals)
+    assert report.by_resource["mpi"] == pytest.approx(2.0)
+
+
+def test_explicit_makespan_extends_chain_with_idle():
+    report = critical_path([_iv("cpu0", "op", 0.0, 4.0)], makespan=5.0)
+    assert report.makespan == pytest.approx(5.0)
+    assert report.by_resource["idle"] == pytest.approx(1.0)
+
+
+def test_empty_input():
+    report = critical_path([])
+    assert report.makespan == 0.0
+    assert report.segments == []
+    assert report.dominant_fraction == 0.0
+
+
+def test_adjacent_same_resource_segments_merge():
+    intervals = [_iv("cpu0", "a", 0.0, 2.0), _iv("cpu1", "b", 2.0, 5.0)]
+    report = critical_path(intervals)
+    assert len(report.segments) == 1
+    assert report.segments[0].duration == pytest.approx(5.0)
+
+
+def test_to_dict_and_render():
+    report = critical_path([_iv("cpu0", "op", 0.0, 2.0), _iv("fpga0", "g", 2.0, 3.0)])
+    d = report.to_dict(top=1)
+    assert d["dominant"] == "cpu"
+    assert d["segments"] == 2
+    assert len(d["top_segments"]) == 1  # capped
+    assert d["top_segments"][0]["resource"] == "cpu"
+    text = report.render()
+    assert "dominant resource: cpu" in text
+    assert "processor path T_p" in text
+
+
+# ------------------------------------------------- chrome-trace round trip
+
+
+def test_lu_trace_roundtrip_names_cpu_as_dominant(tmp_path):
+    """The paper's LU story: the serial panel path (CPU) binds the run.
+
+    T_tp >> T_tf at the planned split, so the chain must attribute the
+    bulk of the makespan to the processor path, both from the live
+    trace and after a Chrome-trace export/import round trip.
+    """
+    design = LuDesign(cray_xd1(), n=6000, b=3000)
+    result = design.simulate(trace=True)
+    live = critical_path(result.trace)
+    assert live.dominant_resource == "cpu"
+    assert live.makespan == pytest.approx(result.trace.makespan())
+    assert live.coverage > 0.95  # an LU run has no long uncovered stalls
+
+    path = write_chrome_trace(tmp_path / "t.json", sim_trace=result.trace)
+    loaded = critical_path(from_chrome_trace(path))
+    assert loaded.dominant_resource == "cpu"
+    assert loaded.makespan == pytest.approx(live.makespan, rel=1e-6)
+    for res, secs in live.by_resource.items():
+        assert loaded.by_resource[res] == pytest.approx(secs, rel=1e-6, abs=1e-9)
+
+
+def test_from_chrome_trace_excludes_harness_spans(tmp_path):
+    from repro.obs.tracing import Tracer
+
+    tracer = Tracer()
+    with tracer.span("wall", category="cli"):
+        pass
+    design = LuDesign(cray_xd1(), n=6000, b=3000)
+    result = design.simulate(trace=True)
+    path = write_chrome_trace(
+        tmp_path / "t.json", sim_trace=result.trace,
+        spans=tracer.spans, span_epoch=tracer.epoch,
+    )
+    records = from_chrome_trace(path)
+    assert records  # simulated lanes present
+    assert all(r["category"] != "wall-clock" for r in records)
+    assert all(not r["label"].startswith("wall") for r in records)

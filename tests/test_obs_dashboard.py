@@ -1,0 +1,78 @@
+"""Tests for the dashboard renderers (repro.obs.dashboard)."""
+
+from repro.obs.dashboard import render_ascii, render_html, text_sparkline
+
+
+def _entry(app="lu", preset="xd1", efficiency=0.9, seq=1, critical_path=None):
+    entry = {
+        "kind": "design_run",
+        "schema": 2,
+        "seq": seq,
+        "app": app,
+        "preset": preset,
+        "measured": {"overlap_efficiency": efficiency},
+    }
+    if critical_path is not None:
+        entry["critical_path"] = critical_path
+    return entry
+
+
+_CP = {
+    "makespan": 10.0,
+    "dominant": "cpu",
+    "dominant_fraction": 0.7,
+    "coverage": 0.98,
+    "by_resource": {"cpu": 7.0, "fpga": 2.8, "idle": 0.2},
+    "segments": 5,
+    "top_segments": [],
+}
+
+
+def test_text_sparkline():
+    assert text_sparkline([]) == ""
+    flat = text_sparkline([1.0, 1.0, 1.0])
+    assert len(flat) == 3 and len(set(flat)) == 1
+    varied = text_sparkline([0.0, 1.0])
+    assert varied[0] == " " and varied[-1] == "@"
+    assert len(text_sparkline(list(range(100)), width=24)) == 24
+
+
+def test_render_ascii_fidelity_and_critical_path():
+    entries = [
+        _entry(efficiency=0.90, seq=1),
+        _entry(efficiency=0.95, seq=2, critical_path=_CP),
+        _entry("fw", efficiency=0.80, seq=3),  # below band
+    ]
+    out = render_ascii(entries, band=0.85)
+    assert "model-fidelity observatory" in out
+    assert "[ok   ] lu@xd1" in out
+    assert "[BELOW] fw@xd1" in out
+    assert "dominant cpu" in out
+    assert "processor path T_p" in out  # model-term gloss
+    assert "70.0%" in out  # cpu share bar line
+
+
+def test_render_ascii_empty_ledger():
+    out = render_ascii([])
+    assert "no design_run entries" in out
+
+
+def test_render_html_self_contained():
+    entries = [_entry(efficiency=0.95, seq=1, critical_path=_CP)]
+    html = render_html(entries, band=0.85)
+    assert html.startswith("<!DOCTYPE html>")
+    assert "lu@xd1" in html
+    assert "<svg" in html  # trend sparkline
+    assert "critical path" in html
+    assert "dominant resource" in html
+    # self-contained: no external fetches of any kind
+    assert "http://" not in html and "https://" not in html
+    assert "<script" not in html
+    # dark mode ships with the page
+    assert "prefers-color-scheme: dark" in html
+
+
+def test_render_html_escapes_entry_values():
+    html = render_html([_entry(app="<b>evil</b>", efficiency=0.9)])
+    assert "<b>evil</b>" not in html
+    assert "&lt;b&gt;evil&lt;/b&gt;" in html

@@ -1,0 +1,107 @@
+"""Tests for the model-fidelity observatory (repro.obs.fidelity)."""
+
+from repro.obs.fidelity import (
+    DEFAULT_BAND,
+    check,
+    diff_entries,
+    fidelity_report,
+    render_diff,
+    series_by_app_preset,
+)
+
+
+def _entry(app="lu", preset="xd1", efficiency=0.9, seq=1, **extra):
+    return {
+        "kind": "design_run",
+        "schema": 2,
+        "seq": seq,
+        "ts": f"2026-08-0{seq}T00:00:00Z",
+        "app": app,
+        "preset": preset,
+        "measured": {"overlap_efficiency": efficiency},
+        **extra,
+    }
+
+
+def test_series_grouping_ignores_non_design_runs():
+    entries = [
+        _entry("lu", seq=1),
+        _entry("fw", seq=2),
+        _entry("lu", preset="xt3", seq=3),
+        {"kind": "experiments", "app": "experiments"},
+        {"kind": "design_run", "app": "mm", "measured": {}},  # no efficiency
+    ]
+    series = series_by_app_preset(entries)
+    assert set(series) == {("lu", "xd1"), ("fw", "xd1"), ("lu", "xt3")}
+
+
+def test_fidelity_report_stats_and_drift():
+    entries = [
+        _entry(efficiency=0.90, seq=1),
+        _entry(efficiency=0.92, seq=2),
+        _entry(efficiency=0.80, seq=3),  # latest, below band
+    ]
+    (st,) = fidelity_report(entries)
+    assert st.count == 3
+    assert st.latest == 0.80
+    assert abs(st.mean - (0.90 + 0.92 + 0.80) / 3) < 1e-12
+    assert (st.minimum, st.maximum) == (0.80, 0.92)
+    assert abs(st.drift - (0.80 - 0.91)) < 1e-12  # latest minus prior mean
+    assert st.below_band == [3]
+    assert "BELOW BAND" in st.summary()
+
+
+def test_check_fails_below_band_and_passes_on_boundary():
+    failures, _ = check([_entry(efficiency=0.84)])
+    assert len(failures) == 1 and "below the 0.85 band" in failures[0]
+    # exactly meeting the band is a pass
+    failures, _ = check([_entry(efficiency=DEFAULT_BAND)])
+    assert failures == []
+
+
+def test_check_drift_is_warning_not_failure():
+    entries = [_entry(efficiency=0.99, seq=1), _entry(efficiency=0.90, seq=2)]
+    failures, warnings = check(entries)
+    assert failures == []
+    assert len(warnings) == 1 and "drifted" in warnings[0]
+    # a single run has no history to drift from
+    _, warnings = check([_entry(efficiency=0.99)])
+    assert warnings == []
+
+
+def test_check_app_filter():
+    entries = [_entry("lu", efficiency=0.5), _entry("fw", efficiency=0.99)]
+    failures, _ = check(entries, app="fw")
+    assert failures == []
+    failures, _ = check(entries, app="lu")
+    assert len(failures) == 1
+
+
+def test_diff_entries_dotted_paths_and_envelope_skip():
+    a = _entry(efficiency=0.90, seq=1, partition={"b_f": 1080, "l": 3})
+    b = _entry(efficiency=0.95, seq=2, partition={"b_f": 1200, "l": 3})
+    deltas = {d.path: d for d in diff_entries(a, b)}
+    # seq/ts differ by construction and are skipped
+    assert "seq" not in deltas and "ts" not in deltas
+    eff = deltas["measured.overlap_efficiency"]
+    assert abs(eff.delta - 0.05) < 1e-12
+    assert abs(eff.relative - 0.05 / 0.90) < 1e-12
+    assert deltas["partition.b_f"].delta == 120
+    assert "partition.l" not in deltas  # unchanged
+
+
+def test_diff_handles_missing_and_non_numeric_fields():
+    a = _entry(note="first")
+    b = _entry()
+    deltas = {d.path: d for d in diff_entries(a, b)}
+    assert deltas["note"].a == "first" and deltas["note"].b is None
+    assert deltas["note"].delta is None
+    assert "->" in deltas["note"].render()
+
+
+def test_render_diff_output():
+    a, b = _entry(efficiency=0.90, seq=1), _entry(efficiency=0.95, seq=2)
+    out = render_diff(a, b)
+    assert "seq 1" in out and "seq 2" in out
+    assert "measured.overlap_efficiency" in out
+    assert render_diff(a, a).endswith("(no differing fields)")

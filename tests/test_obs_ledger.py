@@ -1,0 +1,198 @@
+"""Tests for the run ledger (repro.obs.ledger)."""
+
+import json
+
+import pytest
+
+from repro.apps.lu import LuDesign
+from repro.machine import cray_xd1
+from repro.obs import (
+    LEDGER_SCHEMA,
+    LedgerError,
+    RunLedger,
+    bench_entry,
+    current_git_sha,
+    design_run_entry,
+    entries_from_metrics,
+    experiments_entry,
+    read_metrics_jsonl,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _overlap_record(app="lu", efficiency=0.9, **meta):
+    """A minimal metrics-file overlap record."""
+    return {
+        "kind": "overlap",
+        "app": app,
+        "t_tp": 10.0,
+        "t_tf": 4.0,
+        "predicted_latency": 10.0,
+        "simulated_makespan": 10.0 / efficiency,
+        "overlap_efficiency": efficiency,
+        "slowdown_vs_model": 1.0 / efficiency,
+        "utilisation": {"cpu": 0.8, "fpga": 0.3},
+        "meta": {"n": 30000, "b": 3000, "p": 6, "partition": {"b_p": 1920, "b_f": 1080}, **meta},
+    }
+
+
+# ----------------------------------------------------------------- append
+
+
+def test_append_assigns_schema_seq_ts(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger.jsonl")
+    first = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
+    second = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
+    assert first["schema"] == LEDGER_SCHEMA == 2
+    assert (first["seq"], second["seq"]) == (1, 2)
+    assert first["ts"].endswith("Z")
+    # seq survives a fresh RunLedger over the same file
+    third = RunLedger(tmp_path / "ledger.jsonl").append(
+        design_run_entry(_overlap_record(), git_sha="abc")
+    )
+    assert third["seq"] == 3
+
+
+def test_append_rejects_unknown_kind(tmp_path):
+    with pytest.raises(LedgerError, match="unknown ledger entry kind"):
+        RunLedger(tmp_path / "l.jsonl").append({"kind": "mystery"})
+
+
+def test_directory_path_uses_default_filename(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
+    assert (tmp_path / "ledger.jsonl").is_file()
+
+
+# ------------------------------------------------------------------- read
+
+
+def test_entries_filters_by_app_and_kind(tmp_path):
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    ledger.append(design_run_entry(_overlap_record("lu"), git_sha="abc"))
+    ledger.append(design_run_entry(_overlap_record("fw"), git_sha="abc"))
+    ledger.append(experiments_entry([("fig5", True)], git_sha="abc"))
+    assert len(ledger.entries()) == 3
+    assert [e["app"] for e in ledger.entries(app="lu")] == ["lu"]
+    assert [e["kind"] for e in ledger.entries(kind="experiments")] == ["experiments"]
+
+
+def test_malformed_line_raises_with_line_number(tmp_path):
+    path = tmp_path / "l.jsonl"
+    ledger = RunLedger(path)
+    ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("{not json\n")
+    with pytest.raises(LedgerError, match=r"l\.jsonl:2: malformed"):
+        ledger.entries()
+
+
+def test_newer_schema_rejected(tmp_path):
+    path = tmp_path / "l.jsonl"
+    path.write_text(json.dumps({"kind": "design_run", "schema": 99, "seq": 1}) + "\n")
+    with pytest.raises(LedgerError, match="unsupported ledger schema 99"):
+        RunLedger(path).entries()
+
+
+def test_resolve_by_seq_index_and_latest(tmp_path):
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    for eff in (0.9, 0.92, 0.94):
+        ledger.append(design_run_entry(_overlap_record(efficiency=eff), git_sha="abc"))
+    assert ledger.resolve(2)["measured"]["overlap_efficiency"] == 0.92
+    assert ledger.resolve("latest")["seq"] == 3
+    assert ledger.resolve(-1)["seq"] == 3
+    assert ledger.resolve(-3)["seq"] == 1
+    with pytest.raises(LedgerError, match="no entry with seq 9"):
+        ledger.resolve(9)
+    with pytest.raises(LedgerError, match="bad entry reference"):
+        ledger.resolve("newest")
+
+
+def test_resolve_on_empty_ledger(tmp_path):
+    with pytest.raises(LedgerError, match="is empty"):
+        RunLedger(tmp_path / "l.jsonl").resolve("latest")
+
+
+# --------------------------------------------------------------- builders
+
+
+def test_design_run_entry_extracts_manifest_fields():
+    entry = design_run_entry(
+        _overlap_record(gflops=18.5), preset="xt3", source="ci", git_sha="deadbeef",
+        des={"events_fired": 1000, "events_per_s": 5e5},
+        critical_path={"dominant": "cpu"}, note="hello",
+    )
+    assert entry["kind"] == "design_run"
+    assert entry["preset"] == "xt3"
+    assert entry["git_sha"] == "deadbeef"
+    assert entry["params"] == {"n": 30000, "b": 3000, "p": 6}
+    assert entry["partition"] == {"b_p": 1920, "b_f": 1080}
+    assert entry["predicted"]["t_tp"] == 10.0
+    assert entry["measured"]["gflops"] == 18.5
+    assert entry["des"]["events_per_s"] == 5e5
+    assert entry["critical_path"]["dominant"] == "cpu"
+    assert entry["note"] == "hello"
+
+
+def test_design_run_entry_rejects_non_overlap():
+    with pytest.raises(LedgerError, match="not an overlap record"):
+        design_run_entry({"kind": "header"})
+
+
+def test_git_sha_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedface")
+    assert current_git_sha() == "feedface"
+    assert design_run_entry(_overlap_record())["git_sha"] == "feedface"
+
+
+def test_entries_from_metrics_requires_overlap_records():
+    with pytest.raises(LedgerError, match="no overlap records"):
+        entries_from_metrics([{"kind": "header", "schema": 1}])
+
+
+def test_entries_from_metrics_from_real_lu_run(tmp_path, monkeypatch):
+    """End-to-end: instrumented LU run -> metrics file -> ledger manifest."""
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafe0001")
+    design = LuDesign(cray_xd1(), n=6000, b=3000)
+    registry = MetricsRegistry()
+    report = design.overlap_report(registry=registry)
+    path = write_metrics_jsonl(
+        tmp_path / "m.jsonl", registry, overlap=[report],
+        extra={"app": "lu", "preset": "xd1"},
+    )
+    entries = entries_from_metrics(read_metrics_jsonl(path), source="test")
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["app"] == "lu"
+    assert entry["preset"] == "xd1"  # seeded by the metrics header
+    assert entry["git_sha"] == "cafe0001"
+    # the design's partition decisions flow through to the manifest
+    assert entry["partition"]["b_p"] == design.plan.partition.b_p
+    assert entry["partition"]["b_f"] == design.plan.partition.b_f
+    assert entry["partition"]["l"] == design.plan.balance.l
+    assert entry["measured"]["overlap_efficiency"] == report.overlap_efficiency
+    # and the whole thing appends + reads back unchanged
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    ledger.append(entry)
+    (back,) = ledger.entries()
+    assert back["partition"] == entry["partition"]
+
+
+def test_experiments_and_bench_entries():
+    exp = experiments_entry(
+        [("fig5", True), ("fig9-lu", False)], sim_points=40, git_sha="abc"
+    )
+    assert exp["kind"] == "experiments"
+    assert (exp["passed"], exp["failed"]) == (1, 1)
+    assert exp["sim_points"] == 40
+    good = bench_entry(
+        {"timeouts": {"measured": 1e6, "baseline": 1e6, "status": "ok"}},
+        tolerance=0.02, git_sha="abc",
+    )
+    assert good["ok"] is True
+    bad = bench_entry(
+        {"timeouts": {"measured": 1.0, "baseline": 1e6, "status": "regression"}},
+        git_sha="abc",
+    )
+    assert bad["ok"] is False

@@ -70,6 +70,35 @@ def test_histogram_quantiles():
         h.quantile(1.5)
 
 
+def test_histogram_quantile_overflow_bucket_clamped_to_max():
+    """p95/p99 on overflow-heavy data must not exceed the observed max.
+
+    Every sample lands in the +inf bucket, whose nominal upper bound
+    would otherwise leak into the interpolation.
+    """
+    h = Histogram("lat", {})
+    for v in (150.0, 200.0, 300.0):  # DEFAULT_BUCKETS top out below these
+        h.observe(v)
+    assert h.min <= h.quantile(0.95) <= h.max
+    assert h.quantile(0.95) <= h.quantile(0.99) <= h.max
+    assert h.quantile(1.0) == 300.0
+    # the overflow bucket has no finite upper bound: the interpolation
+    # must use the observed max, never infinity
+    assert h.quantile(0.99) < float("inf")
+
+
+def test_histogram_quantile_sparse_bucket_clamped():
+    """A single-valued histogram never interpolates past its only sample."""
+    h = Histogram("lat", {})
+    for _ in range(100):
+        h.observe(2e-3)
+    # 2e-3 sits inside the (1e-3, 4e-3] bucket; unclamped interpolation
+    # would report p95 ~ 3.85e-3, a value never observed.
+    assert h.quantile(0.95) == 2e-3
+    assert h.quantile(0.99) == 2e-3
+    assert h.quantile(0.05) == 2e-3
+
+
 def test_histogram_rejects_unsorted_buckets():
     with pytest.raises(ValueError):
         Histogram("lat", {}, buckets=(2.0, 1.0))

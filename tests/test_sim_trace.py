@@ -135,3 +135,19 @@ def test_utilisation_zero_duration_intervals_are_zero_not_error():
     assert tr.makespan() == 0.0
     assert tr.utilisation("cpu0") == 0.0
     assert tr.utilisation() == {"cpu0": 0.0, "net0->": 0.0}
+
+
+def test_as_records_from_records_roundtrip():
+    """Records feed the critical-path walker and must rebuild losslessly."""
+    tr = Trace()
+    tr.record("cpu0", "dgetrf", 0.0, 2.0, panel=3)
+    tr.record("fpga0", "gemm", 2.0, 5.0)
+    records = tr.as_records()
+    assert records[0] == {
+        "category": "cpu0", "label": "dgetrf",
+        "start": 0.0, "end": 2.0, "meta": {"panel": 3},
+    }
+    assert "meta" not in records[1]  # empty meta is omitted
+    rebuilt = Trace.from_records(records)
+    assert rebuilt.intervals == tr.intervals
+    assert rebuilt.makespan() == tr.makespan()
