@@ -76,15 +76,21 @@ class FwDesign:
             n=self.n, b=self.b, k=self.k, l1=l1, l2=self.ops_per_phase - l1, **over
         )
 
-    def simulate(self, trace: bool = False, monitor=None, **over) -> FwSimResult:
+    def simulate(self, trace: bool = False, monitor=None, faults=None, **over) -> FwSimResult:
         """Simulate the planned hybrid design.
 
         ``trace=True`` records per-lane busy intervals (needed for the
         Chrome-trace export and :meth:`overlap_report`); ``monitor`` is
-        an optional :class:`repro.sim.SimMonitor` for DES internals.
+        an optional :class:`repro.sim.SimMonitor` for DES internals;
+        ``faults`` is an optional :class:`repro.faults.FaultInjector`.
         """
         return simulate_fw(
-            self.spec, self.config(**over), design=self.design, trace=trace, monitor=monitor
+            self.spec,
+            self.config(**over),
+            design=self.design,
+            trace=trace,
+            monitor=monitor,
+            faults=faults,
         )
 
     def simulate_cpu_only(self, **over) -> FwSimResult:

@@ -106,11 +106,15 @@ def simulate_fw(
     trace: bool = False,
     node_specs: Optional[list] = None,
     monitor: Optional[object] = None,
+    faults: Optional[object] = None,
 ) -> FwSimResult:
     """Run the distributed blocked-FW schedule on a simulated machine.
 
     ``monitor`` is an optional :class:`repro.sim.SimMonitor`; attaching
     one records DES internals at the cost of the counting run loop.
+    ``faults`` is an optional :class:`repro.faults.FaultInjector`
+    (anything with ``install``), hooked in after the FPGAs are
+    configured and before the schedule processes spawn.
     """
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
@@ -120,6 +124,8 @@ def simulate_fw(
     if design is None:
         design = FloydWarshallDesign.for_device(spec.node.fpga.device, k=config.k)
     system.configure_fpgas(lambda: design)
+    if faults is not None:
+        faults.install(system)
     comm = Communicator(system)
     sim = system.sim
     p = spec.p

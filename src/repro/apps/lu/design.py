@@ -95,15 +95,21 @@ class LuDesign:
             **over,
         )
 
-    def simulate(self, trace: bool = False, monitor=None, **over) -> LuSimResult:
+    def simulate(self, trace: bool = False, monitor=None, faults=None, **over) -> LuSimResult:
         """Simulate the planned hybrid design.
 
         ``trace=True`` records per-lane busy intervals (needed for the
         Chrome-trace export and :meth:`overlap_report`); ``monitor`` is
-        an optional :class:`repro.sim.SimMonitor` for DES internals.
+        an optional :class:`repro.sim.SimMonitor` for DES internals;
+        ``faults`` is an optional :class:`repro.faults.FaultInjector`.
         """
         return simulate_lu(
-            self.spec, self.config(**over), design=self.design, trace=trace, monitor=monitor
+            self.spec,
+            self.config(**over),
+            design=self.design,
+            trace=trace,
+            monitor=monitor,
+            faults=faults,
         )
 
     def simulate_cpu_only(self, **over) -> LuSimResult:

@@ -137,12 +137,16 @@ def simulate_lu(
     trace: bool = False,
     node_specs: Optional[list] = None,
     monitor: Optional[object] = None,
+    faults: Optional[object] = None,
 ) -> LuSimResult:
     """Run the distributed LU schedule on a simulated machine.
 
     ``monitor`` is an optional :class:`repro.sim.SimMonitor`; attaching
     one records DES internals (event counts, calendar-bucket depths) at
-    the cost of the slower counting run loop.
+    the cost of the slower counting run loop.  ``faults`` is an optional
+    :class:`repro.faults.FaultInjector` (anything with ``install``),
+    hooked in after the FPGAs are configured and before the schedule
+    processes spawn; with ``faults=None`` the run is untouched.
     """
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
@@ -152,6 +156,8 @@ def simulate_lu(
     if design is None:
         design = MatrixMultiplyDesign.for_device(spec.node.fpga.device, k=config.k)
     system.configure_fpgas(lambda: design)
+    if faults is not None:
+        faults.install(system)
     comm = Communicator(system)
     sim = system.sim
     p = spec.p

@@ -65,9 +65,14 @@ class MmDesign:
             n=self.n, k=self.k, m_f=self.plan.m_f if m_f is None else m_f, **over
         )
 
-    def simulate(self, trace: bool = False, monitor=None, **over) -> MmSimResult:
+    def simulate(self, trace: bool = False, monitor=None, faults=None, **over) -> MmSimResult:
         return simulate_mm(
-            self.spec, self.config(**over), design=self.design, trace=trace, monitor=monitor
+            self.spec,
+            self.config(**over),
+            design=self.design,
+            trace=trace,
+            monitor=monitor,
+            faults=faults,
         )
 
     def overlap_report(self, result: Optional[MmSimResult] = None, registry=None, **over):

@@ -81,11 +81,15 @@ def simulate_mm(
     trace: bool = False,
     node_specs: Optional[list] = None,
     monitor: Optional[object] = None,
+    faults: Optional[object] = None,
 ) -> MmSimResult:
     """Run the ring-allgather MM schedule on a simulated machine.
 
     ``monitor`` is an optional :class:`repro.sim.SimMonitor`; attaching
     one records DES internals at the cost of the counting run loop.
+    ``faults`` is an optional :class:`repro.faults.FaultInjector`
+    (anything with ``install``), hooked in after the FPGAs are
+    configured and before the schedule processes spawn.
     """
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
@@ -95,6 +99,8 @@ def simulate_mm(
     if design is None:
         design = MatrixMultiplyDesign.for_device(spec.node.fpga.device, k=config.k)
     system.configure_fpgas(lambda: design)
+    if faults is not None:
+        faults.install(system)
     comm = Communicator(system)
     sim = system.sim
     p = spec.p

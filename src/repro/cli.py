@@ -22,8 +22,15 @@ The observatory commands sit under ``repro-xd1 obs``::
     obs ledger list|diff|check --ledger L
     obs dashboard --ledger L [--html dashboard.html]
 
-Schemas: docs/observability.md.  All output goes through one
-BrokenPipe-safe writer, so ``repro-xd1 ... | head`` never stack-traces.
+Fault injection and graceful degradation under ``repro-xd1 faults``::
+
+    faults run   --app lu --scenario degraded-link --policy repartition
+    faults sweep --apps lu,fw --scenarios degraded-link,flaky-dma --ledger L
+    faults report --ledger L
+
+Schemas: docs/observability.md; fault scenarios and policies:
+docs/robustness.md.  All output goes through one BrokenPipe-safe
+writer, so ``repro-xd1 ... | head`` never stack-traces.
 """
 
 from __future__ import annotations
@@ -318,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
     ochk.add_argument("--app", default=None, help="only check this app's reports")
     ochk.set_defaults(fn=_cmd_obs_check)
 
-    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 2)")
+    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 3)")
     led_sub = led.add_subparsers(dest="ledger_command", required=True)
 
     lrec = led_sub.add_parser("record", help="append manifests for a recorded run")
@@ -364,6 +371,55 @@ def main(argv: list[str] | None = None) -> int:
     dash.add_argument("--html", default=None, metavar="PATH",
                       help="also write a self-contained HTML dashboard")
     dash.set_defaults(fn=_cmd_obs_dashboard)
+
+    flt = sub.add_parser("faults", help="fault injection and graceful degradation")
+    flt_sub = flt.add_subparsers(dest="faults_command", required=True)
+
+    frun = flt_sub.add_parser("run", help="one fault run: nominal vs faulted + policy")
+    frun.add_argument("--app", default="lu", choices=("lu", "fw"))
+    frun.add_argument("--preset", default="xd1")
+    frun.add_argument("--scenario", default="degraded-link",
+                      help="library scenario name (see docs/robustness.md)")
+    frun.add_argument("--policy", default="repartition",
+                      help="fail-fast | degrade-static | repartition | exclude-node")
+    frun.add_argument("--factor", type=float, default=None,
+                      help="rate factor for the scenario (e.g. 0.5 = half bandwidth)")
+    frun.add_argument("--at", type=float, default=None, help="fault onset time (s)")
+    frun.add_argument("--duration", type=float, default=None,
+                      help="fault window length (default: persists to the end)")
+    frun.add_argument("--node", type=int, default=None, help="target node id")
+    frun.add_argument("--seed", type=int, default=0, help="scenario RNG seed")
+    frun.add_argument("--n", type=int, default=None, help="problem size (app default)")
+    frun.add_argument("--b", type=int, default=None, help="block size (app default)")
+    frun.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append a 'fault_run' manifest to this run ledger")
+    frun.add_argument("--json", action="store_true", help="emit the result as JSON")
+    frun.set_defaults(fn=_cmd_faults_run)
+
+    fswp = flt_sub.add_parser("sweep", help="apps x scenarios x policies fault grid")
+    fswp.add_argument("--apps", default="lu,fw", help="comma-separated: lu,fw")
+    fswp.add_argument("--scenarios", default="degraded-link,dram-contention,flaky-dma",
+                      help="comma-separated library scenario names")
+    fswp.add_argument("--policies", default="degrade-static,repartition",
+                      help="comma-separated policy names")
+    fswp.add_argument("--preset", default="xd1")
+    fswp.add_argument("--factor", type=float, default=None,
+                      help="rate factor applied to every rate scenario")
+    fswp.add_argument("--seed", type=int, default=0, help="scenario RNG seed")
+    fswp.add_argument("--jobs", default=None,
+                      help="worker processes (int or 'auto'; default: $REPRO_PARALLEL)")
+    fswp.add_argument("--cache", default=None,
+                      help="result-cache directory ('off' disables; default: $REPRO_CACHE)")
+    fswp.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append one 'fault_run' manifest per grid point")
+    fswp.add_argument("--out", default=None, metavar="PATH",
+                      help="write the raw result dicts as JSON")
+    fswp.set_defaults(fn=_cmd_faults_sweep)
+
+    frep = flt_sub.add_parser("report", help="resilience report from a run ledger")
+    frep.add_argument("--ledger", required=True, metavar="PATH")
+    frep.add_argument("--json", action="store_true", help="emit the report as JSON")
+    frep.set_defaults(fn=_cmd_faults_report)
 
     args = parser.parse_args(argv)
     _p.reset()
@@ -493,7 +549,7 @@ def _cmd_ledger_list(args: argparse.Namespace) -> int:
     _p(table(
         ["seq", "ts", "kind", "app", "preset", "overlap_eff", "bound by", "git", "source"],
         rows,
-        title=f"run ledger {args.ledger} (schema 2)",
+        title=f"run ledger {args.ledger} (schema 3)",
     ))
     return 0
 
@@ -560,6 +616,111 @@ def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(render_html(entries, band=args.band), encoding="utf-8")
         _p(f"dashboard written to {path}")
+    return 0
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    from .faults import build_scenario
+
+    return build_scenario(
+        args.scenario,
+        factor=getattr(args, "factor", None),
+        at=getattr(args, "at", None),
+        duration=getattr(args, "duration", None),
+        node=getattr(args, "node", None),
+        seed=getattr(args, "seed", 0),
+    )
+
+
+def _append_fault_entries(ledger_path: str, results: list[dict], source: str) -> None:
+    from .obs import RunLedger, fault_run_entry
+
+    ledger = RunLedger(ledger_path)
+    for result in results:
+        ledger.append(fault_run_entry(result, source=source))
+    _p(f"{len(results)} fault_run manifest(s) appended to {ledger.path}")
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults import POLICIES, ResilienceReport, run_with_faults
+
+    if args.policy not in POLICIES:
+        _p(f"error: unknown policy {args.policy!r}; expected one of {POLICIES}")
+        return 2
+    try:
+        scenario = _scenario_from_args(args)
+        result = run_with_faults(
+            args.app, scenario, args.policy, preset=args.preset, n=args.n, b=args.b
+        ).to_dict()
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    if args.json:
+        _p(_json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _p(ResilienceReport([result]).render_ascii())
+    if args.ledger:
+        _append_fault_entries(args.ledger, [result], source="cli")
+    return 0
+
+
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .faults import POLICIES, ResilienceReport, build_scenario, fault_sweep
+    from .parallel import resolve_jobs
+
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        _p(f"error: unknown policies {unknown}; expected from {POLICIES}")
+        return 2
+    try:
+        scenarios = [
+            build_scenario(name.strip(), factor=args.factor, seed=args.seed)
+            for name in args.scenarios.split(",")
+            if name.strip()
+        ]
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    cache = args.cache
+    if cache is not None and cache.strip().lower() in ("", "off", "0", "none", "false"):
+        cache = False
+    results = fault_sweep(
+        apps, scenarios, policies, preset=args.preset, jobs=args.jobs, cache=cache
+    )
+    _p(ResilienceReport(results).render_ascii())
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(results, indent=2, sort_keys=True), encoding="utf-8")
+        _p(f"results written to {path}")
+    if args.ledger:
+        _append_fault_entries(args.ledger, results, source="cli")
+    return 0
+
+
+def _cmd_faults_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults import ResilienceReport
+    from .obs import LedgerError
+
+    try:
+        report = ResilienceReport.from_ledger(args.ledger)
+    except LedgerError as exc:
+        _p(f"error: {exc}")
+        return 2
+    if args.json:
+        _p(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _p(report.render_ascii())
     return 0
 
 

@@ -1,0 +1,517 @@
+"""Graceful-degradation policies: re-solving the model under faults.
+
+Given a scenario's post-fault steady state, this layer re-derives the
+paper's Section 4.1 parameters and re-solves the partition equations --
+Eq. (4) ``(b_p, b_f)`` + Eq. (5) ``l`` for LU, Eq. (6) ``(l1, l2)`` for
+FW -- against the *perturbed* machine, then simulates the faulted run
+with the chosen split and reconciles it against the perturbed
+prediction.  Four policies:
+
+``fail-fast``
+    No adaptation, no re-accounting: run the nominal plan, abort on the
+    first node failure, and measure the raw inflation against the
+    *nominal* prediction.
+``degrade-static``
+    Keep the nominal partition but recompute the prediction against the
+    perturbed parameters -- what the nominal split is *expected* to cost
+    on the degraded machine.  Node failures are still fatal.
+``repartition``
+    Re-solve the Eq. (1)/(2)/(4)/(6) splits on the perturbed parameters
+    and run the new split (same node count).  Node failures are still
+    fatal -- a rate re-split cannot replace a dead peer.
+``exclude-node``
+    Remove failed nodes (``with_node_failure``, p -> p - f), re-solve on
+    the perturbed parameters at the reduced node count -- redistributing
+    the dead node's stripes per the Eq. (5) load-balance rule -- and
+    inject only the surviving rate faults.  Without node failures this
+    degenerates to ``repartition``.
+
+The adapted runs model the post-recovery steady state: the new split is
+in effect from t=0 and the separately-reported ``recovery_latency``
+(first fault time + the configured re-planning overhead) quantifies the
+detection/re-plan window rather than stretching the makespan.
+
+Attribution: for every run the four Eq. (4)/(6) time terms are evaluated
+at the *nominal* partition on nominal vs perturbed parameters; the term
+with the largest relative increase names the model term responsible for
+the inflation (``t_comm`` -> the Eq. (2)/(4) network term ``D_p/B_n``,
+and so on), with a dead node attributed to the Eq. (5) node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.model import DesignModel
+from ..core.parameters import SystemParameters
+from ..core.partition import (
+    FwPartition,
+    LuStripePartition,
+    fw_op_times,
+    lu_stripe_times,
+)
+from ..core.prediction import Prediction, predict_fw, predict_lu
+from ..machine.presets import ALL_PRESETS
+from ..machine.scenarios import with_node_failure
+from ..machine.system import MachineSpec
+from ..obs.metrics import MetricsRegistry
+from ..sim import ProcessFailure
+from .inject import FaultInjector
+from .scenarios import FaultScenario
+
+__all__ = [
+    "POLICIES",
+    "TERM_GLOSS",
+    "DEFAULT_SIZES",
+    "FaultRunResult",
+    "run_with_faults",
+]
+
+#: The graceful-degradation policies, least to most adaptive.
+POLICIES = ("fail-fast", "degrade-static", "repartition", "exclude-node")
+
+#: Model-term glosses for attribution (keys of the Eq. (4)/(6) terms).
+TERM_GLOSS = {
+    "t_comm": "Eq. (2)/(4) network term (D_p/B_n)",
+    "t_mem": "Eq. (1)/(4) memory-staging term (D_f/B_d)",
+    "t_p": "processor compute term (N_p/(O_p F_p))",
+    "t_f": "FPGA pipeline term (N_f/(O_f F_f))",
+    "p": "Eq. (5) node count p",
+}
+
+#: Default problem sizes per app (kept small enough for CI fault sweeps;
+#: LU uses the paper's b=3000 so the Table 1 latencies apply).
+DEFAULT_SIZES = {"lu": (12000, 3000), "fw": (18432, 256)}
+
+
+@dataclass
+class FaultRunResult:
+    """Everything one (app, scenario, policy) fault run produced."""
+
+    app: str
+    preset: str
+    scenario: FaultScenario
+    policy: str
+    p: int
+    p_effective: int
+    nominal_makespan: float
+    nominal_efficiency: float
+    nominal_partition: dict[str, Any]
+    partition: dict[str, Any]  # the split the faulted run used
+    predicted_latency: float  # max{T_tp, T_tf} backing faulted_efficiency
+    faulted_makespan: Optional[float] = None
+    faulted_efficiency: Optional[float] = None
+    failed: bool = False
+    failure: Optional[dict[str, Any]] = None
+    recovery_latency: Optional[float] = None
+    attribution: dict[str, Any] = field(default_factory=dict)
+    injected: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def makespan_inflation(self) -> Optional[float]:
+        """Faulted / nominal makespan (None for aborted runs)."""
+        if self.failed or not self.faulted_makespan or self.nominal_makespan <= 0:
+            return None
+        return self.faulted_makespan / self.nominal_makespan
+
+    @property
+    def efficiency_retention(self) -> Optional[float]:
+        """Faulted / nominal overlap efficiency (None for aborted runs)."""
+        if self.failed or self.faulted_efficiency is None or self.nominal_efficiency <= 0:
+            return None
+        return self.faulted_efficiency / self.nominal_efficiency
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (the sweep cache value and ledger payload)."""
+        return {
+            "app": self.app,
+            "preset": self.preset,
+            "scenario": self.scenario.to_dict(),
+            "policy": self.policy,
+            "p": self.p,
+            "p_effective": self.p_effective,
+            "nominal_makespan": self.nominal_makespan,
+            "nominal_efficiency": self.nominal_efficiency,
+            "nominal_partition": self.nominal_partition,
+            "partition": self.partition,
+            "predicted_latency": self.predicted_latency,
+            "faulted_makespan": self.faulted_makespan,
+            "faulted_efficiency": self.faulted_efficiency,
+            "makespan_inflation": self.makespan_inflation,
+            "efficiency_retention": self.efficiency_retention,
+            "failed": self.failed,
+            "failure": self.failure,
+            "recovery_latency": self.recovery_latency,
+            "attribution": self.attribution,
+            "injected": self.injected,
+        }
+
+
+# ------------------------------------------------------------ helpers
+
+
+def _perturbed_params(params: SystemParameters, scenario: FaultScenario) -> SystemParameters:
+    """``params`` under the scenario's steady-state rate factors.
+
+    A clock throttle scales ``F_f`` only: the DMA engine keeps its
+    configured streaming rate (matching the injector), so ``B_d`` moves
+    only with explicit DRAM contention.
+    """
+    factors = scenario.rate_factors()
+    return params.with_(
+        b_n=params.b_n * factors["b_n"],
+        f_f=params.f_f * factors["f_f"],
+        b_d=params.b_d * factors["b_d"],
+    )
+
+
+def _lu_prediction(
+    n: int, b: int, k: int, b_f: int, params: SystemParameters, latencies: dict[str, float]
+) -> Prediction:
+    """Section 4.5 prediction for a *forced* LU split on given params."""
+    t_p, t_f, t_comm, t_mem = lu_stripe_times(b, b_f, k, params)
+    part = LuStripePartition(
+        b=b,
+        b_p=b - b_f,
+        b_f=b_f,
+        k=k,
+        p=params.p,
+        t_p=t_p,
+        t_f=t_f,
+        t_comm=t_comm,
+        t_mem=t_mem,
+        b_f_exact=float(b_f),
+        sram_words=b_f * b // (params.p - 1),
+    )
+    cpu = params.cpu_flops
+    t_lu = latencies.get("t_lu", (2.0 / 3.0) * b**3 / cpu)
+    t_opl = latencies.get("t_opl", float(b) ** 3 / cpu)
+    t_opu = latencies.get("t_opu", float(b) ** 3 / cpu)
+    return predict_lu(n, b, part, t_lu, t_opl, t_opu, params)
+
+
+def _fw_prediction(n: int, b: int, k: int, l1: int, params: SystemParameters) -> Prediction:
+    """Section 4.5 prediction for a *forced* FW split on given params."""
+    t_p, t_f, t_comm, t_mem = fw_op_times(b, k, params)
+    total = n // (b * params.p)
+    part = FwPartition(
+        l1=l1, l2=total - l1, t_p=t_p, t_f=t_f, t_comm=t_comm, t_mem=t_mem, l1_exact=float(l1)
+    )
+    return predict_fw(n, b, part, params)
+
+
+def _attribution(
+    nominal_terms: tuple[float, float, float, float],
+    perturbed_terms: tuple[float, float, float, float],
+    failed_nodes: tuple[int, ...],
+    p: int,
+) -> dict[str, Any]:
+    """Name the model term responsible for the inflation."""
+    names = ("t_p", "t_f", "t_comm", "t_mem")
+    inflation: dict[str, float] = {}
+    for name, nom, per in zip(names, nominal_terms, perturbed_terms):
+        if nom > 0:
+            inflation[name] = per / nom - 1.0
+        else:
+            inflation[name] = 0.0
+    if failed_nodes:
+        inflation["p"] = p / (p - len(failed_nodes)) - 1.0
+    term = max(inflation, key=lambda k: inflation[k])
+    if inflation[term] <= 1e-12:
+        term = None
+    return {
+        "term": term,
+        "gloss": TERM_GLOSS.get(term, "") if term else "no model term degraded",
+        "inflation": inflation,
+    }
+
+
+def _failure_info(exc: ProcessFailure) -> dict[str, Any]:
+    return {
+        "error": str(exc),
+        "process": getattr(exc, "process_name", None),
+        "time": getattr(exc, "sim_time", None),
+        "lane": getattr(exc, "lane", None),
+    }
+
+
+def _aborted(result: FaultRunResult, failure: dict[str, Any]) -> FaultRunResult:
+    result.failed = True
+    result.failure = failure
+    result.faulted_makespan = failure.get("time")
+    result.faulted_efficiency = None
+    return result
+
+
+# ------------------------------------------------------------ the runner
+
+
+def run_with_faults(
+    app: str,
+    scenario: FaultScenario | dict,
+    policy: str = "repartition",
+    *,
+    preset: str = "xd1",
+    spec: Optional[MachineSpec] = None,
+    n: Optional[int] = None,
+    b: Optional[int] = None,
+    sim_overrides: Optional[dict[str, Any]] = None,
+    replan_latency: float = 0.0,
+) -> FaultRunResult:
+    """One fault run: nominal baseline, perturbed re-plan, faulted DES.
+
+    Simulates the app twice -- nominally, then under the scenario with
+    the policy's partition -- and reconciles both against their model
+    predictions, so the result carries makespan inflation, overlap-
+    efficiency retention, recovery latency and the model-term
+    attribution.  ``app`` is ``"lu"`` or ``"fw"`` (MM supports raw
+    injection via ``MmDesign.simulate(faults=...)`` but has no
+    Eq.-based re-partitioning policy).
+    """
+    if isinstance(scenario, dict):
+        scenario = FaultScenario.from_dict(scenario)
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if app not in DEFAULT_SIZES:
+        raise ValueError(f"unknown app {app!r}; fault policies support {sorted(DEFAULT_SIZES)}")
+    if spec is None:
+        try:
+            spec = ALL_PRESETS[preset]()
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {preset!r}; available: {sorted(ALL_PRESETS)}"
+            ) from None
+    default_n, default_b = DEFAULT_SIZES[app]
+    n = default_n if n is None else n
+    b = default_b if b is None else b
+    over = dict(sim_overrides or {})
+    if app == "lu":
+        return _run_lu(spec, preset, scenario, policy, n, b, over, replan_latency)
+    return _run_fw(spec, preset, scenario, policy, n, b, over, replan_latency)
+
+
+def _recovery(scenario: FaultScenario, policy: str, replan_latency: float) -> Optional[float]:
+    if policy not in ("repartition", "exclude-node") or not scenario.has_faults:
+        return None
+    first = scenario.first_fault_time()
+    return (first or 0.0) + replan_latency
+
+
+def _run_lu(
+    spec: MachineSpec,
+    preset: str,
+    scenario: FaultScenario,
+    policy: str,
+    n: int,
+    b: int,
+    over: dict[str, Any],
+    replan_latency: float,
+) -> FaultRunResult:
+    from ..apps.lu.design import TABLE1_LATENCIES, LuDesign
+
+    base = LuDesign(spec, n, b)
+    latencies = TABLE1_LATENCIES if b == 3000 else {}
+    registry = MetricsRegistry()  # keep fault-run gauges off the global registry
+    nominal_result = base.simulate(trace=True, **over)
+    nominal_report = base.overlap_report(nominal_result, registry=registry)
+    nominal_partition = base.partition_params()
+    perturbed = _perturbed_params(base.params, scenario)
+    failed_nodes = scenario.failed_nodes()
+    attribution = _attribution(
+        lu_stripe_times(b, base.plan.partition.b_f, base.k, base.params),
+        lu_stripe_times(b, base.plan.partition.b_f, base.k, perturbed),
+        failed_nodes,
+        spec.p,
+    )
+    result = FaultRunResult(
+        app="lu",
+        preset=preset,
+        scenario=scenario,
+        policy=policy,
+        p=spec.p,
+        p_effective=spec.p,
+        nominal_makespan=nominal_result.elapsed,
+        nominal_efficiency=nominal_report.overlap_efficiency,
+        nominal_partition=nominal_partition,
+        partition=dict(nominal_partition),
+        predicted_latency=nominal_report.predicted_latency,
+        recovery_latency=_recovery(scenario, policy, replan_latency),
+        attribution=attribution,
+    )
+
+    run_design = base
+    run_scenario = scenario
+    config_over: dict[str, Any] = {}
+    prediction = base.plan.prediction
+    try:
+        if policy == "degrade-static":
+            prediction = _lu_prediction(
+                n, b, base.k, base.plan.partition.b_f, perturbed, latencies
+            )
+        elif policy == "repartition":
+            plan = DesignModel(perturbed).plan_lu(n, b, base.k, **latencies)
+            config_over = {"b_f": plan.partition.b_f, "l": plan.balance.l}
+            prediction = plan.prediction
+            result.partition = {
+                "b_p": plan.partition.b_p,
+                "b_f": plan.partition.b_f,
+                "l": plan.balance.l,
+                "k": base.k,
+            }
+        elif policy == "exclude-node":
+            p_eff = spec.p - len(failed_nodes)
+            run_spec = spec
+            for node_id in failed_nodes:
+                run_spec = with_node_failure(run_spec, node_id)
+            run_design = LuDesign(run_spec, n, b)
+            perturbed_eff = _perturbed_params(run_design.params, scenario)
+            plan = DesignModel(perturbed_eff).plan_lu(n, b, run_design.k, **latencies)
+            config_over = {"b_f": plan.partition.b_f, "l": plan.balance.l}
+            prediction = plan.prediction
+            run_scenario = scenario.without_node_failures()
+            result.p_effective = p_eff
+            result.partition = {
+                "b_p": plan.partition.b_p,
+                "b_f": plan.partition.b_f,
+                "l": plan.balance.l,
+                "k": run_design.k,
+            }
+    except ValueError as exc:
+        return _aborted(result, {"error": str(exc), "stage": "replan"})
+
+    injector = FaultInjector(run_scenario, fail_fast=(policy != "exclude-node"))
+    try:
+        faulted = run_design.simulate(trace=True, faults=injector, **config_over, **over)
+    except ProcessFailure as exc:
+        result.injected = injector.injected
+        return _aborted(result, _failure_info(exc))
+    result.injected = injector.injected
+    result.faulted_makespan = faulted.elapsed
+    faulted_report = _reconcile_faulted(
+        "lu", faulted.elapsed, prediction, faulted.trace, None, registry, scenario, policy
+    )
+    result.predicted_latency = faulted_report.predicted_latency
+    result.faulted_efficiency = faulted_report.overlap_efficiency
+    return result
+
+
+def _run_fw(
+    spec: MachineSpec,
+    preset: str,
+    scenario: FaultScenario,
+    policy: str,
+    n: int,
+    b: int,
+    over: dict[str, Any],
+    replan_latency: float,
+) -> FaultRunResult:
+    from ..apps.fw.design import FwDesign
+
+    base = FwDesign(spec, n, b)
+    registry = MetricsRegistry()
+    nominal_result = base.simulate(trace=True, **over)
+    nominal_report = base.overlap_report(nominal_result, registry=registry)
+    nominal_partition = base.partition_params()
+    perturbed = _perturbed_params(base.params, scenario)
+    failed_nodes = scenario.failed_nodes()
+    attribution = _attribution(
+        fw_op_times(b, base.k, base.params),
+        fw_op_times(b, base.k, perturbed),
+        failed_nodes,
+        spec.p,
+    )
+    result = FaultRunResult(
+        app="fw",
+        preset=preset,
+        scenario=scenario,
+        policy=policy,
+        p=spec.p,
+        p_effective=spec.p,
+        nominal_makespan=nominal_result.total_elapsed,
+        nominal_efficiency=nominal_report.overlap_efficiency,
+        nominal_partition=nominal_partition,
+        partition=dict(nominal_partition),
+        predicted_latency=nominal_report.predicted_latency,
+        recovery_latency=_recovery(scenario, policy, replan_latency),
+        attribution=attribution,
+    )
+
+    run_design = base
+    run_scenario = scenario
+    config_over: dict[str, Any] = {}
+    prediction = base.plan.prediction
+    try:
+        if policy == "degrade-static":
+            prediction = _fw_prediction(n, b, base.k, base.plan.partition.l1, perturbed)
+        elif policy == "repartition":
+            plan = DesignModel(perturbed).plan_fw(n, b, base.k)
+            config_over = {"l1": plan.partition.l1}
+            prediction = plan.prediction
+            result.partition = {"l1": plan.partition.l1, "l2": plan.partition.l2, "k": base.k}
+        elif policy == "exclude-node":
+            p_eff = spec.p - len(failed_nodes)
+            run_spec = spec
+            for node_id in failed_nodes:
+                run_spec = with_node_failure(run_spec, node_id)
+            run_design = FwDesign(run_spec, n, b)  # re-validates n % (b p')
+            perturbed_eff = _perturbed_params(run_design.params, scenario)
+            plan = DesignModel(perturbed_eff).plan_fw(n, b, run_design.k)
+            config_over = {"l1": plan.partition.l1}
+            prediction = plan.prediction
+            run_scenario = scenario.without_node_failures()
+            result.p_effective = p_eff
+            result.partition = {
+                "l1": plan.partition.l1,
+                "l2": plan.partition.l2,
+                "k": run_design.k,
+            }
+    except ValueError as exc:
+        return _aborted(result, {"error": str(exc), "stage": "replan"})
+
+    injector = FaultInjector(run_scenario, fail_fast=(policy != "exclude-node"))
+    try:
+        faulted = run_design.simulate(trace=True, faults=injector, **config_over, **over)
+    except ProcessFailure as exc:
+        result.injected = injector.injected
+        return _aborted(result, _failure_info(exc))
+    result.injected = injector.injected
+    result.faulted_makespan = faulted.total_elapsed
+    faulted_report = _reconcile_faulted(
+        "fw",
+        faulted.total_elapsed,
+        prediction,
+        faulted.trace,
+        faulted.elapsed,
+        registry,
+        scenario,
+        policy,
+    )
+    result.predicted_latency = faulted_report.predicted_latency
+    result.faulted_efficiency = faulted_report.overlap_efficiency
+    return result
+
+
+def _reconcile_faulted(
+    app: str,
+    makespan: float,
+    prediction: Any,
+    trace: Any,
+    window: Optional[float],
+    registry: MetricsRegistry,
+    scenario: FaultScenario,
+    policy: str,
+):
+    from ..obs import reconcile
+
+    return reconcile(
+        app,
+        makespan,
+        prediction,
+        trace=trace,
+        window=window,
+        registry=registry,
+        scenario=scenario.name,
+        policy=policy,
+        faulted=True,
+    )

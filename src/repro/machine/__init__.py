@@ -13,8 +13,10 @@ from .node import ComputeNode, NodeSpec
 from .presets import ALL_PRESETS, cray_xd1, cray_xt3_drc, sgi_rasc, src_map_station
 from .processor import OPTERON_2_2GHZ, CalibrationError, ProcessorSpec
 from .scenarios import (
+    compose,
     with_fpga_dram_bandwidth,
     with_network_bandwidth,
+    with_node_failure,
     with_scaled_processor,
     with_sram_capacity,
 )
@@ -37,12 +39,14 @@ __all__ = [
     "OPTERON_2_2GHZ",
     "ProcessorSpec",
     "ReconfigurableSystem",
+    "compose",
     "cray_xd1",
     "cray_xt3_drc",
     "sgi_rasc",
     "src_map_station",
     "with_fpga_dram_bandwidth",
     "with_network_bandwidth",
+    "with_node_failure",
     "with_scaled_processor",
     "with_sram_capacity",
 ]

@@ -1,21 +1,27 @@
 """Machine-variant scenarios for what-if studies.
 
 Small, composable transformations of a :class:`~repro.machine.system.
-MachineSpec` used by the ablation benchmarks and capacity-planning
-examples: degraded memory paths, slower/faster networks, scaled
-processors, mixed-generation chassis descriptions.
+MachineSpec` used by the ablation benchmarks, the capacity-planning
+examples and the fault subsystem (:mod:`repro.faults`): degraded memory
+paths, slower/faster networks, scaled processors, failed nodes,
+mixed-generation chassis descriptions.  :func:`compose` chains several
+transforms into one, so fault scenarios and what-if studies share a
+single vocabulary.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
 from .processor import ProcessorSpec
 from .system import MachineSpec
 
 __all__ = [
+    "compose",
     "with_fpga_dram_bandwidth",
     "with_network_bandwidth",
+    "with_node_failure",
     "with_scaled_processor",
     "with_sram_capacity",
 ]
@@ -67,6 +73,50 @@ def with_scaled_processor(spec: MachineSpec, factor: float) -> MachineSpec:
     )
     node = dataclasses.replace(spec.node, processor=proc)
     return dataclasses.replace(spec, node=node, name=f"{spec.name} (CPU x{factor:g})")
+
+
+def with_node_failure(spec: MachineSpec, node_id: int) -> MachineSpec:
+    """The same machine with node ``node_id`` removed from service.
+
+    Nodes are identical, so a failure reduces the chassis to ``p - 1``
+    peers; re-planning on the result redistributes the failed node's
+    share per the Eq. (5) load-balance rule.  The node id is validated
+    against the original chassis so fault specs naming a non-existent
+    node fail loudly.
+    """
+    if not 0 <= node_id < spec.p:
+        raise ValueError(f"node_id must be in [0, {spec.p}), got {node_id}")
+    if spec.p < 2:
+        raise ValueError(f"cannot fail the only node of {spec.name!r} (p={spec.p})")
+    return dataclasses.replace(
+        spec, p=spec.p - 1, name=f"{spec.name} (node {node_id} failed)"
+    )
+
+
+def compose(
+    *transforms: Callable[[MachineSpec], MachineSpec],
+) -> Callable[[MachineSpec], MachineSpec]:
+    """One transform applying ``transforms`` left to right.
+
+    Each argument is a single-argument spec transform (partially applied
+    variants of the ``with_*`` helpers)::
+
+        degraded = compose(
+            lambda s: with_network_bandwidth(s, 1e9),
+            lambda s: with_fpga_dram_bandwidth(s, 1.4e9),
+        )
+        spec = degraded(cray_xd1())
+
+    Name suffixes accumulate in application order, so the resulting
+    spec's name documents the full transformation chain.
+    """
+
+    def apply(spec: MachineSpec) -> MachineSpec:
+        for transform in transforms:
+            spec = transform(spec)
+        return spec
+
+    return apply
 
 
 def with_sram_capacity(spec: MachineSpec, capacity_bytes: int) -> MachineSpec:

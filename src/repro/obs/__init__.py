@@ -61,6 +61,7 @@ from .ledger import (
     design_run_entry,
     entries_from_metrics,
     experiments_entry,
+    fault_run_entry,
 )
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .overlap import OverlapReport, busy_by_resource, reconcile
@@ -95,6 +96,7 @@ __all__ = [
     "diff_entries",
     "entries_from_metrics",
     "experiments_entry",
+    "fault_run_entry",
     "fidelity_check",
     "fidelity_report",
     "from_chrome_trace",

@@ -3,11 +3,13 @@
 Two renderers over the same ledger content:
 
 * :func:`render_ascii` -- a terminal/CI-log view: per app x preset
-  fidelity trend (latest / mean / range / drift plus a text sparkline)
-  and the latest critical-path attribution per app;
+  fidelity trend (latest / mean / range / drift plus a text sparkline),
+  the latest critical-path attribution per app, and the latest
+  resilience outcome per fault scenario (``fault_run`` entries);
 * :func:`render_html` -- a self-contained HTML page (inline CSS + SVG,
   no external assets or scripts) with the same content: a fidelity
-  table with trend sparklines and per-resource critical-path bars.
+  table with trend sparklines, per-resource critical-path bars, and the
+  resilience table.
 
 Both are pure functions of the ledger entries so tests can pin them;
 the CLI front-end is ``repro-xd1 obs dashboard``.
@@ -50,6 +52,22 @@ def _latest_critical_paths(entries: list[dict[str, Any]]) -> dict[tuple[str, str
     return out
 
 
+def _latest_fault_runs(entries: list[dict[str, Any]]) -> dict[tuple[str, str, str], dict]:
+    """Newest ``fault_run`` manifest per (app, scenario, policy)."""
+    out: dict[tuple[str, str, str], dict] = {}
+    for entry in entries:
+        if entry.get("kind") != "fault_run":
+            continue
+        scenario = entry.get("scenario") or {}
+        key = (
+            str(entry.get("app")),
+            str(scenario.get("name", "?")),
+            str(entry.get("policy")),
+        )
+        out[key] = entry
+    return out
+
+
 # ------------------------------------------------------------------ ASCII
 
 
@@ -88,6 +106,26 @@ def render_ascii(entries: list[dict[str, Any]], band: float = DEFAULT_BAND) -> s
                 share = secs / makespan if makespan > 0 else 0.0
                 bar = "#" * max(1, round(share * 30)) if share > 0 else ""
                 lines.append(f"    {res:<5} {100 * share:5.1f}%  {bar}")
+    faults = _latest_fault_runs(entries)
+    if faults:
+        lines.append("")
+        lines.append("resilience (latest fault run per app x scenario x policy):")
+        for (app, scenario, policy), entry in sorted(faults.items()):
+            res = entry.get("resilience") or {}
+            if res.get("failed"):
+                failure = res.get("failure") or {}
+                what = failure.get("process") or failure.get("stage") or "?"
+                lines.append(f"  [ABORT] {app} {scenario} / {policy}: {what}")
+                continue
+            retention = res.get("efficiency_retention")
+            inflation = res.get("makespan_inflation")
+            term = (entry.get("attribution") or {}).get("term") or "-"
+            lines.append(
+                f"  [ok   ] {app} {scenario} / {policy}: "
+                f"retention {'-' if retention is None else format(retention, '.1%')}  "
+                f"inflation {'-' if inflation is None else format(inflation, '.3f') + 'x'}  "
+                f"attributed to {term}"
+            )
     return "\n".join(lines)
 
 
@@ -204,6 +242,43 @@ def _critical_path_tables(entries: list[dict[str, Any]]) -> str:
     return "\n".join(blocks)
 
 
+def _resilience_table(entries: list[dict[str, Any]]) -> str:
+    faults = _latest_fault_runs(entries)
+    if not faults:
+        return ""
+    rows = []
+    for (app, scenario, policy), entry in sorted(faults.items()):
+        res = entry.get("resilience") or {}
+        failed = bool(res.get("failed"))
+        retention = res.get("efficiency_retention")
+        inflation = res.get("makespan_inflation")
+        recovery = res.get("recovery_latency")
+        gloss = (entry.get("attribution") or {}).get("gloss") or "-"
+        if failed:
+            failure = res.get("failure") or {}
+            gloss = f"aborted: {failure.get('process') or failure.get('stage') or '?'}"
+        rows.append(
+            "<tr>"
+            f"<td>{escape(app)}</td><td>{escape(scenario)}</td><td>{escape(policy)}</td>"
+            f'<td class="status {"below" if failed else "ok"}">'
+            f'{"aborted" if failed else "ok"}</td>'
+            f'<td class="num">{"-" if inflation is None else f"{inflation:.3f}x"}</td>'
+            f'<td class="num">{"-" if retention is None else f"{retention:.1%}"}</td>'
+            f'<td class="num">{"-" if recovery is None else f"{recovery:.3f}s"}</td>'
+            f'<td class="lane">{escape(gloss)}</td>'
+            "</tr>"
+        )
+    return (
+        "<h2>Resilience under fault injection</h2>"
+        '<p class="sub">latest fault run per app &times; scenario &times; policy '
+        "(docs/robustness.md)</p>"
+        "<table><thead><tr><th>app</th><th>scenario</th><th>policy</th><th>status</th>"
+        "<th class='num'>inflation</th><th class='num'>retention</th>"
+        "<th class='num'>recovery</th><th>attributed to</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
 def render_html(
     entries: list[dict[str, Any]],
     band: float = DEFAULT_BAND,
@@ -233,6 +308,7 @@ def render_html(
 <h2>Prediction fidelity by app &times; preset</h2>
 {fidelity_table}
 {_critical_path_tables(entries)}
+{_resilience_table(entries)}
 </body>
 </html>
 """

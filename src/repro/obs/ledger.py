@@ -1,8 +1,8 @@
-"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 2``).
+"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 3``).
 
 Every instrumented run -- an LU/FW/MM design run, an experiments sweep,
-a ``bench_perf_regression`` baseline check -- can append one *manifest*
-line to a JSON-lines ledger file.  A manifest records everything needed
+a ``bench_perf_regression`` baseline check, a fault-injection run -- can
+append one *manifest* line to a JSON-lines ledger file.  A manifest records everything needed
 to compare runs across commits and machines: git SHA, machine preset,
 the partition decisions ``(b_p, b_f, l)`` / ``(l1, l2)`` / ``(m_f, r)``,
 the model prediction ``max{T_tp, T_tf}``, the simulated makespan,
@@ -36,20 +36,31 @@ __all__ = [
     "entries_from_metrics",
     "experiments_entry",
     "bench_entry",
+    "fault_run_entry",
 ]
 
 #: Current ledger schema version.  Schema 1 was the metrics-file format
-#: (``METRICS_SCHEMA``); the ledger introduces the cross-run manifest as
-#: schema 2.  Bump on breaking changes to the entry layout.
-LEDGER_SCHEMA = 2
+#: (``METRICS_SCHEMA``); the ledger introduced the cross-run manifest as
+#: schema 2; schema 3 adds the ``fault_run`` kind (resilience manifests
+#: from :mod:`repro.faults`).  Entries written by older schemas remain
+#: readable: :meth:`RunLedger.entries` accepts any ``schema <= 3``.
+#: Bump on breaking changes to the entry layout.
+LEDGER_SCHEMA = 3
 
 #: Entry kinds the observatory understands.  ``design_run`` entries feed
-#: the fidelity analysis; the others are audit records.
-ENTRY_KINDS = ("design_run", "experiments", "bench")
+#: the fidelity analysis, ``fault_run`` entries feed the resilience
+#: report; the others are audit records.
+ENTRY_KINDS = ("design_run", "experiments", "bench", "fault_run")
 
 #: Environment override for :func:`current_git_sha` (useful in CI and
 #: in tests where the checkout SHA is not the interesting identity).
 GIT_SHA_ENV_VAR = "REPRO_GIT_SHA"
+
+#: Environment override for entry timestamps.  CI's bitwise-determinism
+#: gate writes the same sweep twice and compares the ledgers byte for
+#: byte; pinning the timestamp removes the one legitimately varying
+#: field.
+LEDGER_TS_ENV_VAR = "REPRO_LEDGER_TS"
 
 
 class LedgerError(ValueError):
@@ -79,6 +90,9 @@ def current_git_sha(cwd: Optional[str | Path] = None) -> str:
 
 
 def _utc_now_iso() -> str:
+    env = os.environ.get(LEDGER_TS_ENV_VAR)
+    if env:
+        return env
     return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
 
 
@@ -320,6 +334,63 @@ def experiments_entry(
     }
     if sim_points is not None:
         entry["sim_points"] = sim_points
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def fault_run_entry(
+    result: dict[str, Any],
+    *,
+    preset: Optional[str] = None,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """A ``fault_run`` manifest from one fault-run result dict.
+
+    ``result`` is the dict from
+    :meth:`repro.faults.adapt.FaultRunResult.to_dict` (this module stays
+    stdlib-only, so it takes the plain dict rather than the object).
+    The manifest separates the nominal baseline, the faulted measurement
+    and the resilience summary so the dashboard and ``repro faults
+    report`` can consume it without re-deriving anything.
+    """
+    for key in ("app", "scenario", "policy"):
+        if not result.get(key):
+            raise LedgerError(f"fault-run result is missing {key!r}")
+    scenario = result["scenario"]
+    if not isinstance(scenario, dict) or not scenario.get("name"):
+        raise LedgerError("fault-run result's scenario must be a dict with a name")
+    entry: dict[str, Any] = {
+        "kind": "fault_run",
+        "app": result["app"],
+        "preset": preset or result.get("preset") or "xd1",
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "scenario": dict(scenario),
+        "policy": result["policy"],
+        "p": result.get("p"),
+        "p_effective": result.get("p_effective"),
+        "partition": dict(result.get("partition") or {}),
+        "predicted": {"latency": result.get("predicted_latency")},
+        "nominal": {
+            "makespan": result.get("nominal_makespan"),
+            "overlap_efficiency": result.get("nominal_efficiency"),
+        },
+        "measured": {
+            "makespan": result.get("faulted_makespan"),
+            "overlap_efficiency": result.get("faulted_efficiency"),
+        },
+        "resilience": {
+            "makespan_inflation": result.get("makespan_inflation"),
+            "efficiency_retention": result.get("efficiency_retention"),
+            "recovery_latency": result.get("recovery_latency"),
+            "failed": bool(result.get("failed")),
+            "failure": result.get("failure"),
+        },
+        "attribution": dict(result.get("attribution") or {}),
+    }
     if note:
         entry["note"] = note
     return entry

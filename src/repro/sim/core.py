@@ -92,8 +92,19 @@ class SimulationError(RuntimeError):
 class ProcessFailure(SimulationError):
     """Raised from :meth:`Simulator.run` when a process raised an exception.
 
-    The original exception is available as ``__cause__``.
+    The original exception is available as ``__cause__``.  Structured
+    context is attached for programmatic consumers (the fault subsystem
+    reads these instead of parsing the message):
+
+    * ``process_name`` -- name of the process whose generator raised,
+    * ``sim_time`` -- simulated time of the failure,
+    * ``lane`` -- the trace lane with the most recent activity at the
+      failure time (``None`` when the run is untraced).
     """
+
+    process_name: Optional[str] = None
+    sim_time: Optional[float] = None
+    lane: Optional[str] = None
 
 
 class Event:
@@ -555,6 +566,36 @@ class Simulator:
             else:
                 buckets[when] = deque((b, event))
 
+    def _process_failure(self, proc: "Process", exc: BaseException) -> ProcessFailure:
+        """Build the :class:`ProcessFailure` for an unconsumed crash.
+
+        Cold path (runs once, when the loop is about to abort), so it can
+        afford to scan the trace for the lane active nearest the failure
+        time -- usually the resource the dead process was driving.
+        """
+        lane: Optional[str] = None
+        trace = self.trace
+        intervals = getattr(trace, "intervals", None) if trace is not None else None
+        if intervals:
+            now = self._now
+            # Most recent lane activity at or before the failure time;
+            # ties go to the latest-recorded interval.
+            best = None
+            for iv in intervals:
+                if iv.start <= now and (best is None or iv.start >= best.start):
+                    best = iv
+            if best is not None:
+                lane = best.category
+        where = f" (last active lane: {lane})" if lane else ""
+        failure = ProcessFailure(
+            f"process {proc.name!r} failed at t={self._now:g}{where}: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        failure.process_name = proc.name
+        failure.sim_time = self._now
+        failure.lane = lane
+        return failure
+
     def _pop_bucket(self) -> Event:
         """Take the next calendar event at ``self._times[0]``, advancing the
         clock; retires the time once its bucket drains."""
@@ -690,7 +731,7 @@ class Simulator:
                 proc, exc = crashed[0]
                 # A failure is "consumed" if some other process was waiting
                 # on the failed process event (its callbacks were drained).
-                raise ProcessFailure(f"process {proc.name!r} failed at t={self._now:g}") from exc
+                raise self._process_failure(proc, exc) from exc
         return self._now
 
     def _run_monitored(self, until: Optional[float] = None) -> float:
@@ -751,7 +792,7 @@ class Simulator:
                     mon.pool_high_water = len(pool)
             if crashed:
                 proc, exc = crashed[0]
-                raise ProcessFailure(f"process {proc.name!r} failed at t={self._now:g}") from exc
+                raise self._process_failure(proc, exc) from exc
         return self._now
 
     def _pop_bucket_monitored(self, mon: Any) -> Event:

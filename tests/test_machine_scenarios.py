@@ -1,0 +1,106 @@
+"""Edge-case tests for the machine-variant transforms (repro.machine.scenarios)."""
+
+import pytest
+
+from repro.machine import (
+    compose,
+    cray_xd1,
+    with_fpga_dram_bandwidth,
+    with_network_bandwidth,
+    with_node_failure,
+    with_scaled_processor,
+    with_sram_capacity,
+)
+
+
+# ----------------------------------------------------- invalid arguments
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, -2.4e9])
+def test_network_bandwidth_rejects_nonpositive(bad):
+    with pytest.raises(ValueError, match="positive"):
+        with_network_bandwidth(cray_xd1(), bad)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, -3.2e9])
+def test_fpga_dram_bandwidth_rejects_nonpositive(bad):
+    with pytest.raises(ValueError, match="positive"):
+        with_fpga_dram_bandwidth(cray_xd1(), bad)
+
+
+@pytest.mark.parametrize("bad", [0.0, -0.5])
+def test_scaled_processor_rejects_nonpositive(bad):
+    with pytest.raises(ValueError, match="positive"):
+        with_scaled_processor(cray_xd1(), bad)
+
+
+def test_sram_capacity_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        with_sram_capacity(cray_xd1(), 0)
+
+
+@pytest.mark.parametrize("bad", [-1, 6, 100])
+def test_node_failure_rejects_out_of_range_ids(bad):
+    spec = cray_xd1()  # p = 6
+    with pytest.raises(ValueError, match=r"node_id must be in \[0, 6\)"):
+        with_node_failure(spec, bad)
+
+
+def test_node_failure_rejects_last_node():
+    spec = cray_xd1(p=1)
+    with pytest.raises(ValueError, match="only node"):
+        with_node_failure(spec, 0)
+
+
+# ------------------------------------------------------------ semantics
+
+
+def test_node_failure_reduces_p_and_keeps_hardware():
+    spec = cray_xd1()
+    failed = with_node_failure(spec, 3)
+    assert failed.p == spec.p - 1
+    assert failed.node == spec.node  # identical per-node hardware
+    assert failed.network == spec.network
+    assert "(node 3 failed)" in failed.name
+
+
+def test_transforms_do_not_mutate_the_original():
+    spec = cray_xd1()
+    with_network_bandwidth(spec, 1e9)
+    with_node_failure(spec, 0)
+    assert spec.p == 6
+    assert spec.network.bandwidth == cray_xd1().network.bandwidth
+
+
+# ---------------------------------------------------------- composition
+
+
+def test_chained_transforms_accumulate_name_suffixes_in_order():
+    spec = with_fpga_dram_bandwidth(with_network_bandwidth(cray_xd1(), 1e9), 1.4e9)
+    base = cray_xd1().name
+    assert spec.name == f"{base} (B_n 1 GB/s) (B_d path 1.4 GB/s)"
+
+
+def test_compose_applies_left_to_right():
+    degraded = compose(
+        lambda s: with_network_bandwidth(s, 1e9),
+        lambda s: with_fpga_dram_bandwidth(s, 1.4e9),
+        lambda s: with_node_failure(s, 1),
+    )
+    spec = degraded(cray_xd1())
+    assert spec.p == 5
+    assert spec.network.bandwidth == 1e9
+    assert spec.node.fpga.dram_link_bandwidth == 1.4e9
+    assert spec.name.endswith("(B_n 1 GB/s) (B_d path 1.4 GB/s) (node 1 failed)")
+
+
+def test_compose_of_nothing_is_identity():
+    spec = cray_xd1()
+    assert compose()(spec) == spec
+
+
+def test_repeated_node_failures_validate_against_shrinking_chassis():
+    spec = with_node_failure(with_node_failure(cray_xd1(), 5), 4)
+    assert spec.p == 4
+    with pytest.raises(ValueError):
+        with_node_failure(spec, 4)  # id 4 no longer exists at p = 4

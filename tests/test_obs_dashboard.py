@@ -76,3 +76,55 @@ def test_render_html_escapes_entry_values():
     html = render_html([_entry(app="<b>evil</b>", efficiency=0.9)])
     assert "<b>evil</b>" not in html
     assert "&lt;b&gt;evil&lt;/b&gt;" in html
+
+
+def _fault_entry(app="lu", scenario="degraded-link", policy="repartition",
+                 failed=False, retention=0.985, seq=10):
+    resilience = {
+        "makespan_inflation": None if failed else 1.012,
+        "efficiency_retention": None if failed else retention,
+        "recovery_latency": None if failed else 0.0,
+        "failed": failed,
+        "failure": {"process": "fault:node_failure@1", "time": 0.05} if failed else None,
+    }
+    return {
+        "kind": "fault_run", "schema": 3, "seq": seq, "app": app, "preset": "xd1",
+        "scenario": {"name": scenario, "seed": 0, "events": [], "bursts": []},
+        "policy": policy,
+        "measured": {"makespan": 10.2, "overlap_efficiency": 1.08},
+        "nominal": {"makespan": 10.0, "overlap_efficiency": 1.1},
+        "resilience": resilience,
+        "attribution": {"term": "t_comm", "gloss": "Eq. (2)/(4) network term (D_p/B_n)"},
+    }
+
+
+def test_render_ascii_resilience_section():
+    entries = [
+        _entry(efficiency=0.95, seq=1),
+        _fault_entry(seq=2),
+        _fault_entry(policy="fail-fast", failed=True, seq=3),
+    ]
+    out = render_ascii(entries, band=0.85)
+    assert "resilience (latest fault run" in out
+    assert "[ok   ] lu degraded-link / repartition" in out
+    assert "retention 98.5%" in out
+    assert "attributed to t_comm" in out
+    assert "[ABORT] lu degraded-link / fail-fast: fault:node_failure@1" in out
+
+
+def test_render_ascii_without_fault_entries_has_no_resilience_section():
+    out = render_ascii([_entry(efficiency=0.95)], band=0.85)
+    assert "resilience" not in out
+
+
+def test_render_html_resilience_table():
+    entries = [_fault_entry(), _fault_entry(policy="fail-fast", failed=True, seq=11)]
+    html = render_html(entries, band=0.85)
+    assert "Resilience under fault injection" in html
+    assert "degraded-link" in html
+    assert "98.5%" in html
+    assert "aborted: fault:node_failure@1" in html
+    # latest entry per (app, scenario, policy) wins
+    newer = _fault_entry(retention=0.5, seq=12)
+    html2 = render_html(entries + [newer], band=0.85)
+    assert "50.0%" in html2 and "98.5%" not in html2

@@ -44,7 +44,7 @@ def test_append_assigns_schema_seq_ts(tmp_path):
     ledger = RunLedger(tmp_path / "ledger.jsonl")
     first = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
     second = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
-    assert first["schema"] == LEDGER_SCHEMA == 2
+    assert first["schema"] == LEDGER_SCHEMA == 3
     assert (first["seq"], second["seq"]) == (1, 2)
     assert first["ts"].endswith("Z")
     # seq survives a fresh RunLedger over the same file
@@ -196,3 +196,89 @@ def test_experiments_and_bench_entries():
         git_sha="abc",
     )
     assert bad["ok"] is False
+
+
+# ------------------------------------------------- schema 3 / fault runs
+
+
+def _fault_result(app="lu", scenario="degraded-link", policy="repartition"):
+    """A minimal FaultRunResult.to_dict()-shaped dict."""
+    return {
+        "app": app,
+        "preset": "xd1",
+        "scenario": {"name": scenario, "seed": 0, "events": [], "bursts": []},
+        "policy": policy,
+        "p": 6,
+        "p_effective": 6,
+        "nominal_makespan": 10.0,
+        "nominal_efficiency": 1.1,
+        "nominal_partition": {"b_p": 1920, "b_f": 1080},
+        "partition": {"b_p": 1888, "b_f": 1112},
+        "predicted_latency": 10.0,
+        "faulted_makespan": 10.2,
+        "faulted_efficiency": 1.08,
+        "makespan_inflation": 1.02,
+        "efficiency_retention": 0.982,
+        "failed": False,
+        "failure": None,
+        "recovery_latency": 0.0,
+        "attribution": {"term": "t_comm", "gloss": "Eq. (2)/(4) network term", "inflation": {}},
+        "injected": [],
+    }
+
+
+def test_fault_run_entry_builds_schema3_manifest(tmp_path):
+    from repro.obs import fault_run_entry
+
+    entry = fault_run_entry(_fault_result(), git_sha="abc", note="campaign 1")
+    assert entry["kind"] == "fault_run"
+    assert entry["scenario"]["name"] == "degraded-link"
+    assert entry["resilience"]["efficiency_retention"] == 0.982
+    assert entry["measured"]["makespan"] == 10.2
+    assert entry["note"] == "campaign 1"
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    appended = ledger.append(entry)
+    assert appended["schema"] == LEDGER_SCHEMA == 3
+    (back,) = ledger.entries(kind="fault_run")
+    assert back["attribution"]["term"] == "t_comm"
+
+
+def test_fault_run_entry_validates_required_fields():
+    from repro.obs import fault_run_entry
+
+    with pytest.raises(LedgerError, match="missing 'app'"):
+        fault_run_entry({"scenario": {"name": "x"}, "policy": "fail-fast"})
+    with pytest.raises(LedgerError, match="scenario"):
+        fault_run_entry({"app": "lu", "scenario": "not-a-dict", "policy": "fail-fast"})
+
+
+def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
+    """Schema-2 entries written by older code still list and diff."""
+    from repro.obs import fault_run_entry, render_diff
+
+    path = tmp_path / "l.jsonl"
+    old = {
+        "kind": "design_run", "app": "lu", "preset": "xd1", "schema": 2,
+        "seq": 1, "ts": "2026-01-01T00:00:00Z", "git_sha": "old",
+        "params": {"n": 30000}, "partition": {"b_p": 1920, "b_f": 1080},
+        "predicted": {"latency": 10.0},
+        "measured": {"makespan": 9.0, "overlap_efficiency": 1.1},
+    }
+    path.write_text(json.dumps(old, sort_keys=True) + "\n", encoding="utf-8")
+    ledger = RunLedger(path)
+    new = ledger.append(fault_run_entry(_fault_result(), git_sha="new"))
+    entries = ledger.entries()
+    assert [e["schema"] for e in entries] == [2, 3]
+    assert new["seq"] == 2  # seq continues across the schema bump
+    assert render_diff(entries[0], entries[1])  # mixed-kind diff renders
+    assert ledger.entries(kind="design_run") == [entries[0]]
+    assert ledger.entries(kind="fault_run") == [entries[1]]
+
+
+def test_ledger_ts_env_override(tmp_path, monkeypatch):
+    from repro.obs.ledger import LEDGER_TS_ENV_VAR
+
+    monkeypatch.setenv(LEDGER_TS_ENV_VAR, "1970-01-01T00:00:00Z")
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    entry = ledger.append(experiments_entry([("fig5", True)], git_sha="abc"))
+    assert entry["ts"] == "1970-01-01T00:00:00Z"
