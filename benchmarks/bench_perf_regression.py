@@ -103,12 +103,25 @@ DES_BENCHES = {"timeouts": bench_timeouts, "mixed": bench_mixed, "fanin": bench_
 SWEEP_EXPERIMENTS = ["fig5", "fig6", "fig7", "fig8"]
 
 
-def bench_sweeps(jobs: int | str | None) -> dict[str, float]:
-    """Run the sweep-heavy experiments; returns timing + throughput."""
-    from repro import experiments as E
+def bench_sweeps(jobs: int | str | None, fast_path: str | None = None) -> dict:
+    """Run the sweep-heavy experiments; returns timing + throughput.
 
+    The returned dict carries the analytic-vs-DES split for the run
+    (``fast_path`` key).  In parallel mode the split covers the points
+    decided in the parent process (the vectorised batch pre-pass); points
+    simulated inside workers count their paths in worker registries.
+    """
+    from repro import experiments as E
+    from repro.sim.analytic import fastpath_summary
+
+    def _counts(summary):
+        if summary is None:
+            return 0, 0
+        return summary.get("analytic", 0), summary.get("des", 0)
+
+    a0, d0 = _counts(fastpath_summary())
     before = E.SIM_CALLS
-    with E.configured(jobs=jobs, cache=False) as (executor, _):
+    with E.configured(jobs=jobs, cache=False, fast_path=fast_path) as (executor, _):
         t0 = time.perf_counter()
         results = [E.ALL_EXPERIMENTS[name]() for name in SWEEP_EXPERIMENTS]
         elapsed = time.perf_counter() - t0
@@ -117,12 +130,14 @@ def bench_sweeps(jobs: int | str | None) -> dict[str, float]:
     if bad:
         raise SystemExit(f"experiment checks failed during benchmark: {bad}")
     points = E.SIM_CALLS - before if mode == "serial" else _sweep_point_count()
+    a1, d1 = _counts(fastpath_summary())
     return {
         "experiments": SWEEP_EXPERIMENTS,
         "points": points,
         "elapsed_s": elapsed,
         "points_per_s": points / elapsed,
         "mode": mode,
+        "fast_path": {"analytic": a1 - a0, "des": d1 - d0},
     }
 
 
@@ -197,6 +212,57 @@ def check_baseline(
     return 0
 
 
+#: Allowed fractional sweep-throughput shortfall for ``--check-sweep``.
+#: Looser than the DES tolerance: a sweep point is milliseconds, so
+#: process scheduling noise is proportionally larger.
+SWEEP_TOLERANCE = 0.25
+
+
+def _baseline_sweep_figure(report: dict) -> dict | None:
+    """The serial sweep figure from a schema-1 or schema-2 report."""
+    if "sweeps" in report:  # schema >= 2
+        return report["sweeps"].get("serial")
+    return report.get("sweep")  # schema 1
+
+
+def check_sweep(baseline_path: Path, tolerance: float = SWEEP_TOLERANCE) -> int:
+    """Assert serial sweep throughput is within ``tolerance`` of baseline.
+
+    Re-times the fig5-fig8 grids serially (fast path at its default) and
+    fails when points/s lands more than ``tolerance`` below the recorded
+    serial figure.  Returns 0 on pass, 1 on regression, 2 when the
+    baseline is missing or predates sweep recording.
+    """
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; run without checks first")
+        return 2
+    ref_fig = _baseline_sweep_figure(json.loads(baseline_path.read_text()))
+    if not ref_fig or "points_per_s" not in ref_fig:
+        print(f"baseline {baseline_path} has no sweep figure; re-record it")
+        return 2
+    ref = ref_fig["points_per_s"]
+    floor = ref * (1.0 - tolerance)
+    sweep = bench_sweeps(jobs=None)
+    measured = sweep["points_per_s"]
+    status = classify_measurement(measured, ref, tolerance)
+    tag = {"ok": "ok", "regression": "REGRESSION", "stale-baseline": "ok (stale?)"}[status]
+    print(
+        f"sweep/serial {measured:>10,.1f} points/s  "
+        f"(baseline {ref:,.1f}, floor {floor:,.1f}) {tag} "
+        f"[analytic={sweep['fast_path']['analytic']} des={sweep['fast_path']['des']}]"
+    )
+    if status == "stale-baseline":
+        print(
+            f"warning: sweep throughput exceeds baseline by > {STALE_FACTOR - 1:.0%}; "
+            f"re-record the baseline (run without checks)"
+        )
+    if status == "regression":
+        print(f"sweep throughput regression (> {tolerance:.0%} below baseline)")
+        return 1
+    print(f"sweep throughput within {tolerance:.0%} of baseline")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -223,6 +289,12 @@ def main(argv: list[str] | None = None) -> int:
         "of rewriting it; non-zero exit on a regression",
     )
     parser.add_argument(
+        "--check-sweep",
+        action="store_true",
+        help="compare serial sweep throughput (points/s) against the "
+        f"recorded baseline; non-zero exit when > {SWEEP_TOLERANCE:.0%} below",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.02,
@@ -237,8 +309,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.check_baseline:
-        return check_baseline(args.output, args.rounds, args.tolerance, ledger=args.ledger)
+    if args.check_baseline or args.check_sweep:
+        rc = 0
+        if args.check_baseline:
+            rc = check_baseline(args.output, args.rounds, args.tolerance, ledger=args.ledger)
+        if args.check_sweep:
+            rc = max(rc, check_sweep(args.output))
+        return rc
 
     scale = 10 if args.quick else 1
     des: dict[str, float] = {}
@@ -250,19 +327,27 @@ def main(argv: list[str] | None = None) -> int:
         des[name] = best
         print(f"des/{name:10s} {best:>12,.0f} events/s")
 
-    sweeps = bench_sweeps(args.jobs)
-    print(
-        f"sweeps ({sweeps['mode']}) {sweeps['points']} points in "
-        f"{sweeps['elapsed_s']:.2f}s = {sweeps['points_per_s']:.1f} points/s"
-    )
+    sweeps: dict[str, dict] = {"serial": bench_sweeps(jobs=None)}
+    par_jobs = args.jobs if args.jobs is not None else "auto"
+    parallel = bench_sweeps(par_jobs)
+    if parallel["mode"] == "parallel":
+        parallel["jobs"] = par_jobs
+        sweeps["parallel"] = parallel
+    for label, sw in sweeps.items():
+        fp = sw["fast_path"]
+        print(
+            f"sweeps/{label} ({sw['mode']}) {sw['points']} points in "
+            f"{sw['elapsed_s']:.2f}s = {sw['points_per_s']:.1f} points/s "
+            f"[analytic={fp['analytic']} des={fp['des']}]"
+        )
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": args.quick,
         "des_events_per_s": des,
-        "sweep": sweeps,
+        "sweeps": sweeps,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")

@@ -99,6 +99,13 @@ class FwSimResult:
         return self.useful_flops / total / 1e9 if total > 0 else 0.0
 
 
+def _analytic_fw(spec, config, design):
+    # Deferred import: .analytic imports this module's config/result types.
+    from .analytic import analytic_fw
+
+    return analytic_fw(spec, config, design)
+
+
 def simulate_fw(
     spec: MachineSpec,
     config: FwSimConfig,
@@ -107,6 +114,7 @@ def simulate_fw(
     node_specs: Optional[list] = None,
     monitor: Optional[object] = None,
     faults: Optional[object] = None,
+    fast_path: Optional[str] = None,
 ) -> FwSimResult:
     """Run the distributed blocked-FW schedule on a simulated machine.
 
@@ -115,7 +123,24 @@ def simulate_fw(
     ``faults`` is an optional :class:`repro.faults.FaultInjector`
     (anything with ``install``), hooked in after the FPGAs are
     configured and before the schedule processes spawn.
+
+    ``fast_path`` selects the analytic no-contention fast path
+    (``"auto"`` / ``"on"`` / ``"off"``; None = process default); see
+    :mod:`repro.sim.analytic`.  Analytic results are bitwise identical.
     """
+    from ...sim.analytic import try_fast_path
+
+    fast = try_fast_path(
+        "fw",
+        lambda: _analytic_fw(spec, config, design),
+        mode=fast_path,
+        trace=trace,
+        node_specs=node_specs,
+        monitor=monitor,
+        faults=faults,
+    )
+    if fast is not None:
+        return fast
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
         system.sim.trace = None

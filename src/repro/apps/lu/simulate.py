@@ -130,6 +130,19 @@ def iteration_jobs(t: int, nb: int) -> list[tuple[int, int]]:
     return out
 
 
+def _analytic_lu(spec, config, design):
+    # Deferred import: .analytic imports this module's schedule helpers.
+    from .analytic import analytic_lu
+
+    return analytic_lu(spec, config, design)
+
+
+def _analytic_block_mm(spec, b, b_f, k, design, stripes):
+    from .analytic import analytic_block_mm
+
+    return analytic_block_mm(spec, b, b_f, k, design, stripes)
+
+
 def simulate_lu(
     spec: MachineSpec,
     config: LuSimConfig,
@@ -138,6 +151,7 @@ def simulate_lu(
     node_specs: Optional[list] = None,
     monitor: Optional[object] = None,
     faults: Optional[object] = None,
+    fast_path: Optional[str] = None,
 ) -> LuSimResult:
     """Run the distributed LU schedule on a simulated machine.
 
@@ -147,7 +161,25 @@ def simulate_lu(
     :class:`repro.faults.FaultInjector` (anything with ``install``),
     hooked in after the FPGAs are configured and before the schedule
     processes spawn; with ``faults=None`` the run is untouched.
+
+    ``fast_path`` selects the analytic no-contention fast path:
+    ``"auto"`` (bitwise-identical analytic replay when eligible, DES
+    otherwise), ``"on"`` (raise if ineligible), ``"off"`` (always DES),
+    or None for the process default (``REPRO_FAST_PATH``, else auto).
     """
+    from ...sim.analytic import try_fast_path
+
+    fast = try_fast_path(
+        "lu",
+        lambda: _analytic_lu(spec, config, design),
+        mode=fast_path,
+        trace=trace,
+        node_specs=node_specs,
+        monitor=monitor,
+        faults=faults,
+    )
+    if fast is not None:
+        return fast
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
         system.sim.trace = None
@@ -364,13 +396,25 @@ def simulate_block_mm(
     design: Optional[MatrixMultiplyDesign] = None,
     stripes: Optional[int] = None,
     trace: bool = False,
+    fast_path: Optional[str] = None,
 ) -> float:
     """Latency of ONE cooperative b x b block multiplication (Figure 5).
 
     Node 0 streams the stripe pairs; nodes 1..p-1 pipeline receive /
     stage / compute, splitting rows b_f : b - b_f between FPGA and CPU.
-    ``stripes`` defaults to the true count ``b / k``.
+    ``stripes`` defaults to the true count ``b / k``.  ``fast_path``
+    selects the analytic closed form (see :func:`simulate_lu`).
     """
+    from ...sim.analytic import try_fast_path
+
+    fast = try_fast_path(
+        "block_mm",
+        lambda: _analytic_block_mm(spec, b, b_f, k, design, stripes),
+        mode=fast_path,
+        trace=trace,
+    )
+    if fast is not None:
+        return fast
     if not 0 <= b_f <= b:
         raise ValueError(f"b_f={b_f} outside [0, {b}]")
     if b % k:

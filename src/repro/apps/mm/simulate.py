@@ -74,6 +74,13 @@ class MmSimResult:
         return self.useful_flops / self.elapsed / 1e9 if self.elapsed > 0 else 0.0
 
 
+def _analytic_mm(spec, config, design):
+    # Deferred import: .analytic imports this module's config/result types.
+    from .analytic import analytic_mm
+
+    return analytic_mm(spec, config, design)
+
+
 def simulate_mm(
     spec: MachineSpec,
     config: MmSimConfig,
@@ -82,6 +89,7 @@ def simulate_mm(
     node_specs: Optional[list] = None,
     monitor: Optional[object] = None,
     faults: Optional[object] = None,
+    fast_path: Optional[str] = None,
 ) -> MmSimResult:
     """Run the ring-allgather MM schedule on a simulated machine.
 
@@ -90,7 +98,24 @@ def simulate_mm(
     ``faults`` is an optional :class:`repro.faults.FaultInjector`
     (anything with ``install``), hooked in after the FPGAs are
     configured and before the schedule processes spawn.
+
+    ``fast_path`` selects the analytic no-contention fast path
+    (``"auto"`` / ``"on"`` / ``"off"``; None = process default); see
+    :mod:`repro.sim.analytic`.  Analytic results are bitwise identical.
     """
+    from ...sim.analytic import try_fast_path
+
+    fast = try_fast_path(
+        "mm",
+        lambda: _analytic_mm(spec, config, design),
+        mode=fast_path,
+        trace=trace,
+        node_specs=node_specs,
+        monitor=monitor,
+        faults=faults,
+    )
+    if fast is not None:
+        return fast
     system = ReconfigurableSystem(spec, trace=trace, node_specs=node_specs)
     if not trace:
         system.sim.trace = None

@@ -308,6 +308,14 @@ def main(argv: list[str] | None = None) -> int:
         "--ledger", default=None, metavar="PATH",
         help="append an 'experiments' manifest to this run ledger",
     )
+    exp.add_argument(
+        "--fast-path",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="analytic no-contention fast path for sweep points "
+        "(auto: use when bitwise-safe, on: require, off: always DES; "
+        "default: $REPRO_FAST_PATH or auto)",
+    )
     _add_obs_flags(exp)
     exp.set_defaults(fn=_cmd_experiments)
 
@@ -751,7 +759,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         set_tracer(Tracer())
     failed = []
     outcomes: list[tuple[str, bool]] = []
-    with configured(jobs=args.jobs, cache=cache):
+    with configured(jobs=args.jobs, cache=cache, fast_path=args.fast_path):
         for name, fn in selected.items():
             result = fn()
             outcomes.append((name, result.ok))
@@ -781,13 +789,19 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             _p(f"metrics written to {path}")
     if args.ledger:
         from .obs import REGISTRY, RunLedger, experiments_entry
+        from .sim.analytic import fastpath_summary
 
         try:
             sim_points = int(REGISTRY.value("experiments.sim_points"))
         except KeyError:
             sim_points = None
         entry = RunLedger(args.ledger).append(
-            experiments_entry(outcomes, sim_points=sim_points, source="cli")
+            experiments_entry(
+                outcomes,
+                sim_points=sim_points,
+                source="cli",
+                fast_path=fastpath_summary(REGISTRY),
+            )
         )
         _p(f"recorded seq {entry['seq']}: experiments "
            f"({entry['passed']} passed, {entry['failed']} failed) -> {args.ledger}")

@@ -104,22 +104,31 @@ def _coerce_cache(cache: Any) -> Optional[ResultCache]:
 
 
 @contextmanager
-def configured(jobs: Any = None, cache: Any = None):
+def configured(jobs: Any = None, cache: Any = None, fast_path: Any = None):
     """Run experiments with a given executor/cache configuration.
 
     ``jobs``: worker count, ``"auto"``, or None to consult the
     ``REPRO_PARALLEL`` environment variable.  ``cache``: a directory
     path, a :class:`ResultCache`, True (default ``.repro_cache/``),
     False (force off), or None to consult ``REPRO_CACHE``.
+    ``fast_path``: ``"auto"`` / ``"on"`` / ``"off"`` for the analytic
+    no-contention fast path, or None to consult ``REPRO_FAST_PATH``
+    (default auto); results are bitwise identical either way.
     """
     global _EXECUTOR, _CACHE
+    from .sim.analytic import set_fast_path_mode
+
     prev = (_EXECUTOR, _CACHE)
-    _EXECUTOR = SweepExecutor(jobs)
+    executor = SweepExecutor(jobs)
+    _EXECUTOR = executor
     _CACHE = _coerce_cache(cache)
+    prev_mode = set_fast_path_mode(fast_path)
     try:
         yield (_EXECUTOR, _CACHE)
     finally:
+        set_fast_path_mode(prev_mode)
         _EXECUTOR, _CACHE = prev
+        executor.close()
 
 
 def active_cache() -> Optional[ResultCache]:
@@ -193,6 +202,83 @@ def _point_sim(task: dict) -> Any:
     }
 
 
+def _batch_fast_path(tasks: list[dict]) -> dict[int, Any]:
+    """Solve homogeneous uncontended sweep grids in one NumPy pass each.
+
+    Groups ``block_mm`` tasks by everything but ``b_f`` and ``fw`` tasks
+    by everything but the ``(l1, l2)`` split, then evaluates each group
+    of two or more points through the vectorised analytic solvers
+    (bitwise identical to per-point evaluation).  Returns ``{index:
+    value}`` for the points it solved; the rest fall through to the
+    normal per-point path (which applies the scalar fast path itself).
+    """
+    from .sim.analytic import FastPathUnsupported, note_point, resolve_fast_path
+
+    if resolve_fast_path(None) == "off":
+        return {}
+    groups: dict[tuple, list[int]] = {}
+    for i, task in enumerate(tasks):
+        kind = task.get("kind")
+        if kind == "block_mm":
+            groups.setdefault(("block_mm", task["machine"], task["b"], task["k"]), []).append(i)
+        elif kind == "fw":
+            cfg = task["cfg"]
+            groups.setdefault(
+                ("fw", task["machine"], cfg.n, cfg.b, cfg.k, cfg.overlap,
+                 cfg.aggregate_ops, cfg.iterations, cfg.cpu_kernel),
+                [],
+            ).append(i)
+    solved: dict[int, Any] = {}
+    for key, idxs in groups.items():
+        if len(idxs) < 2:
+            continue
+        spec = _spec_for(key[1])
+        try:
+            if key[0] == "block_mm":
+                from .apps.lu.analytic import analytic_block_mm_batch
+
+                _, _, b, k = key
+                latencies = analytic_block_mm_batch(
+                    spec, b, [tasks[i]["b_f"] for i in idxs], k
+                )
+                for i, latency in zip(idxs, latencies):
+                    solved[i] = latency
+                    note_point("block_mm", "analytic")
+            else:
+                from .apps.fw.analytic import analytic_fw_batch
+
+                results = analytic_fw_batch(spec, [tasks[i]["cfg"] for i in idxs])
+                for i, res in zip(idxs, results):
+                    solved[i] = {"elapsed": res.elapsed, "gflops": res.gflops}
+                    note_point("fw", "analytic")
+        except FastPathUnsupported:
+            continue
+    return solved
+
+
+def _run_sim_tasks(tasks: list[dict], executor) -> list[Any]:
+    """Evaluate uncached tasks: vectorised fast path, then the executor."""
+    global SIM_CALLS
+    solved = _batch_fast_path(tasks)
+    if not solved:
+        if executor is not None:
+            return executor.map(_point_sim, tasks)
+        return [_point_sim(t) for t in tasks]
+    SIM_CALLS += len(solved)  # batch-solved points are simulations too
+    rest = [i for i in range(len(tasks)) if i not in solved]
+    values: list[Any] = [None] * len(tasks)
+    for i, value in solved.items():
+        values[i] = value
+    if rest:
+        todo = [tasks[i] for i in rest]
+        got = executor.map(_point_sim, todo) if executor is not None else [
+            _point_sim(t) for t in todo
+        ]
+        for i, value in zip(rest, got):
+            values[i] = value
+    return values
+
+
 def _eval_sim_points(tasks: list[dict]) -> list[Any]:
     """Evaluate tasks through the active cache and executor, in order."""
     cache = _CACHE
@@ -200,9 +286,7 @@ def _eval_sim_points(tasks: list[dict]) -> list[Any]:
     REGISTRY.counter("experiments.sim_points").inc(len(tasks))
     if cache is None:
         with get_tracer().span("eval_sim_points", category="sweep", tasks=len(tasks)):
-            if executor is not None:
-                return executor.map(_point_sim, tasks)
-            return [_point_sim(t) for t in tasks]
+            return _run_sim_tasks(tasks, executor)
     values: list[Any] = [None] * len(tasks)
     misses: list[int] = []
     with get_tracer().span("cache.lookup_batch", category="cache", tasks=len(tasks)):
@@ -217,9 +301,7 @@ def _eval_sim_points(tasks: list[dict]) -> list[Any]:
         with get_tracer().span(
             "eval_sim_points", category="sweep", tasks=len(todo), cached=len(tasks) - len(todo)
         ):
-            got = executor.map(_point_sim, todo) if executor is not None else [
-                _point_sim(t) for t in todo
-            ]
+            got = _run_sim_tasks(todo, executor)
         for i, value in zip(misses, got):
             cache.put(tasks[i], value)
             values[i] = value

@@ -90,7 +90,10 @@ class Communicator:
         if size < 0:
             raise ValueError(f"negative message size: {size}")
         sent_at = self.sim.now
-        yield from self.network.send(src, dst, size, label=f"mpi:{src}->{dst}")
+        # The label is only read by trace recording; skip the f-string on
+        # untraced runs (one per message, visible at sweep message rates).
+        label = f"mpi:{src}->{dst}" if self.sim.trace is not None else ""
+        yield from self.network.send(src, dst, size, label=label)
         msg = Message(src, dst, tag, data, size, sent_at=sent_at, delivered_at=self.sim.now)
         yield self._mailbox(src, dst, tag).put(msg)
         if self.sim.trace is not None:

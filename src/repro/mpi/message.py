@@ -30,9 +30,13 @@ def payload_bytes(data: Any, word_bytes: int = 8) -> int:
         return word_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """One point-to-point message in flight or delivered."""
+    """One point-to-point message in flight or delivered.
+
+    Slotted: one instance per simulated message makes the per-instance
+    ``__dict__`` measurable in sweep profiles.
+    """
 
     src: int
     dst: int

@@ -319,8 +319,14 @@ def experiments_entry(
     source: str = "cli",
     git_sha: Optional[str] = None,
     note: Optional[str] = None,
+    fast_path: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
-    """An ``experiments`` manifest: which reproduction checks passed."""
+    """An ``experiments`` manifest: which reproduction checks passed.
+
+    ``fast_path`` (optional) records analytic fast-path coverage for the
+    run: ``{"analytic": n, "des": m, "fallback": {reason: count}}`` as
+    produced by :func:`repro.sim.analytic.fastpath_summary`.
+    """
     checks = {name: bool(ok) for name, ok in results}
     entry: dict[str, Any] = {
         "kind": "experiments",
@@ -334,6 +340,8 @@ def experiments_entry(
     }
     if sim_points is not None:
         entry["sim_points"] = sim_points
+    if fast_path is not None:
+        entry["fast_path"] = fast_path
     if note:
         entry["note"] = note
     return entry

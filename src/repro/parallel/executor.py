@@ -7,6 +7,12 @@ function that cannot cross a process boundary).  Results always come
 back in input order, so sweeps are bitwise-deterministic regardless of
 worker count.
 
+Transport: tasks are submitted as contiguous chunks (one future per
+chunk, a few chunks per worker for load balancing) and each worker
+serialises its chunk's results with pickle protocol 5 before they cross
+the process boundary, so a sweep pays one round-trip per chunk instead
+of one per point.
+
 Worker count resolution (first match wins):
 
 1. the ``jobs`` argument,
@@ -37,6 +43,10 @@ PARALLEL_ENV_VAR = "REPRO_PARALLEL"
 #: startup (fork + import) costs more than a handful of model solves.
 MIN_POINTS_PER_JOB = 2
 
+#: Chunks submitted per worker: enough for load balancing, few enough
+#: that per-chunk submission and transport overhead stays negligible.
+CHUNKS_PER_WORKER = 4
+
 
 def resolve_jobs(jobs: Optional[int | str] = None) -> int:
     """The effective worker count for ``jobs`` (see module docstring)."""
@@ -66,6 +76,16 @@ def _is_picklable(fn: Callable[..., Any]) -> bool:
     return True
 
 
+def _run_chunk(fn: Callable[[Any], Any], chunk: list[Any]) -> bytes:
+    """Worker-side chunk evaluation; results travel as one protocol-5 blob.
+
+    Serialising in the worker keeps the result transport a single opaque
+    ``bytes`` per chunk (protocol 5 supports out-of-band buffers for
+    large payloads), instead of one executor round-trip per point.
+    """
+    return pickle.dumps([fn(v) for v in chunk], protocol=5)
+
+
 class SweepExecutor:
     """Maps point functions over sweep grids, optionally in parallel.
 
@@ -74,9 +94,12 @@ class SweepExecutor:
     jobs:
         Worker count, ``"auto"``, or None to consult ``REPRO_PARALLEL``.
 
-    The executor is stateless between calls (pools are created per
-    :meth:`map`), so a single instance can be shared freely; it is also
-    safe to use from within pytest and the CLI.
+    The worker pool is created lazily on the first parallel :meth:`map`
+    and reused across calls, so repeated sweeps (a whole ``configured()``
+    block) pay pool startup once.  Call :meth:`close` (or use the
+    executor via :func:`repro.experiments.configured`, which does) to
+    release the workers; a closed executor transparently re-opens the
+    pool if mapped again.
     """
 
     def __init__(self, jobs: Optional[int | str] = None) -> None:
@@ -84,6 +107,30 @@ class SweepExecutor:
         #: How the last map() call ran ("serial" | "parallel"); for tests
         #: and benchmark reporting.
         self.last_mode: str = "serial"
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool, if one was started."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
 
     def map(self, fn: Callable[[T], R], values: Iterable[T]) -> list[R]:
         """``[fn(v) for v in values]``, sharded across workers when useful.
@@ -119,13 +166,16 @@ class SweepExecutor:
         self.last_mode = "parallel"
         workers = min(self.jobs, n)
         # Chunk so each worker gets a few batches (load balancing) without
-        # per-point IPC overhead.
-        chunksize = max(1, -(-n // (workers * 4)))
+        # per-point IPC overhead; one future per chunk, results as a
+        # single protocol-5 blob each.
+        chunksize = max(1, -(-n // (workers * CHUNKS_PER_WORKER)))
+        chunks = [list(items[i : i + chunksize]) for i in range(0, n, chunksize)]
         t0 = time.perf_counter()
         with tracer.span("sweep.map", category="sweep", mode="parallel", tasks=n,
                          workers=workers, chunksize=chunksize):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(fn, items, chunksize=chunksize))
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            results = [r for fut in futures for r in pickle.loads(fut.result())]
         elapsed = time.perf_counter() - t0
         REGISTRY.counter("sweep.tasks", mode="parallel").inc(n)
         REGISTRY.counter("sweep.maps", mode="parallel").inc()

@@ -6,6 +6,13 @@ application schedules in :mod:`repro.apps` all execute as cooperative
 processes on this engine.
 """
 
+from .analytic import (
+    FastPathUnsupported,
+    fast_path_refusal,
+    fastpath_summary,
+    resolve_fast_path,
+    set_fast_path_mode,
+)
 from .core import (
     AllOf,
     AnyOf,
@@ -26,6 +33,7 @@ __all__ = [
     "BandwidthChannel",
     "CausalityViolation",
     "Event",
+    "FastPathUnsupported",
     "Interval",
     "Process",
     "ProcessFailure",
@@ -37,5 +45,9 @@ __all__ = [
     "Store",
     "Timeout",
     "Trace",
+    "fast_path_refusal",
+    "fastpath_summary",
     "merge",
+    "resolve_fast_path",
+    "set_fast_path_mode",
 ]

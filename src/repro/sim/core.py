@@ -51,7 +51,11 @@ Sweeps run millions of events, so the hot path is tuned:
   of same-time events.  Deque entries are always younger than any
   calendar entry scheduled at the current time, so draining calendar
   entries at ``now`` first and then the deque reproduces the global
-  schedule order of the naive implementation.
+  schedule order of the naive implementation.  Positive delays whose
+  ``now + delay`` collapses to ``now`` in float arithmetic (delay below
+  one ulp of the clock) are routed through the same deque -- a calendar
+  entry created *now* at time ``now`` would violate the younger-than
+  invariant and fire ahead of older same-time events.
 * Delayed events live in a calendar queue: a heap of *distinct* times
   plus a dict mapping each time to its events (a bare event, promoted to
   a deque on the second arrival).  Same-time bursts -- barrier releases,
@@ -526,6 +530,14 @@ class Simulator:
         else:
             # Inlined calendar push (mirrors _post).
             when = self._now + delay
+            if when == self._now:
+                # Positive delay collapsed in float addition (delay below
+                # one ulp of the clock).  Route through the same-time
+                # deque: a calendar entry created *now* at time `now`
+                # would unfairly predate older deque entries, which the
+                # pop rule assumes are always younger.
+                self._dq.append(t)
+                return t
             buckets = self._buckets
             b = buckets.get(when)
             if b is None:
@@ -556,6 +568,10 @@ class Simulator:
             self._dq.append(event)
         else:
             when = self._now + delay
+            if when == self._now:
+                # FP collapse (see timeout()): keep same-time FIFO order.
+                self._dq.append(event)
+                return
             buckets = self._buckets
             b = buckets.get(when)
             if b is None:

@@ -78,7 +78,20 @@ class Resource:
         """Claim ``amount`` units; yield the returned event to block."""
         if amount < 1 or amount > self.capacity:
             raise ValueError(f"cannot request {amount} of {self.capacity} units of {self.name!r}")
-        req = Request(self, amount)
+        # Slim factory (mirrors Simulator.event): skips Event.__init__ and
+        # leaves ``name`` unset so the lazy __getattr__ debug name applies.
+        # One request per simulated kernel call / channel transfer makes
+        # this construction hot.
+        req = Request.__new__(Request)
+        req.sim = self.sim
+        req._value = None
+        req._ok = True
+        req._triggered = False
+        req._processed = False
+        req._cb = None
+        req.callbacks = None
+        req.resource = self
+        req.amount = amount
         self._queue.append(req)
         self._grant()
         return req

@@ -189,6 +189,58 @@ def test_executor_small_grid_stays_serial():
     assert ex.last_mode == "serial"
 
 
+def test_executor_reuses_pool_across_maps():
+    values = list(range(24))
+    ex = SweepExecutor(jobs=2)
+    try:
+        assert ex.map(_square, values) == [_square(v) for v in values]
+        pool = ex._pool
+        assert pool is not None
+        assert ex.map(_square, values) == [_square(v) for v in values]
+        assert ex._pool is pool  # same workers, no per-map pool startup
+    finally:
+        ex.close()
+    assert ex._pool is None
+
+
+def test_executor_close_is_idempotent_and_reopens():
+    ex = SweepExecutor(jobs=2)
+    ex.close()  # nothing started yet
+    assert ex.map(_square, list(range(24))) == [_square(v) for v in range(24)]
+    ex.close()
+    ex.close()
+    # A closed executor transparently restarts its pool when mapped again.
+    assert ex.map(_square, list(range(24))) == [_square(v) for v in range(24)]
+    ex.close()
+
+
+def test_executor_context_manager_closes():
+    with SweepExecutor(jobs=2) as ex:
+        assert ex.map(_square, list(range(24))) == [_square(v) for v in range(24)]
+        assert ex._pool is not None
+    assert ex._pool is None
+
+
+def test_run_chunk_round_trips_protocol5():
+    import pickle
+
+    from repro.parallel.executor import _run_chunk
+
+    blob = _run_chunk(_square, [2, 3, 4])
+    assert isinstance(blob, bytes)
+    assert blob[1] == 5  # pickle protocol-5 frame
+    assert pickle.loads(blob) == [4, 9, 16]
+
+
+def test_parallel_results_bitwise_equal_serial_floats():
+    # Irrational-ish floats must survive the chunked protocol-5 transport
+    # bit-for-bit.
+    values = [v / 7.0 for v in range(24)]
+    serial = SweepExecutor(jobs=1).map(_square, values)
+    with SweepExecutor(jobs=2) as ex:
+        assert ex.map(_square, values) == serial
+
+
 def test_sweep_with_executor_is_identical():
     values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
     plain = sweep("curve", values, _square)

@@ -286,3 +286,42 @@ def test_deep_process_chain():
     sim.run()
     assert results == [51]
     assert sim.now == 0.5
+
+
+def test_fp_collapsed_delay_preserves_fifo_order():
+    """A positive delay below one ulp of the clock must not let the new
+    event overtake older same-time events (float-keyed calendar buckets
+    would otherwise schedule it *at* ``now``, where calendar entries win
+    ties against the zero-delay deque)."""
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(1e18)
+        assert sim.now + 1e-10 == sim.now  # the delay collapses
+        first = sim.event()
+        first.add_callback(lambda e: fired.append("first"))
+        first.succeed()
+        collapsed = sim.timeout(1e-10)
+        collapsed.add_callback(lambda e: fired.append("collapsed"))
+        yield collapsed
+
+    sim.process(proc(sim))
+    sim.run()
+    assert fired == ["first", "collapsed"]
+    assert sim.now == 1e18
+
+
+def test_fp_collapsed_post_keeps_calendar_empty():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1e18)
+        sim.timeout(1e-10)
+        # The collapsed timeout went to the same-time deque, not the
+        # calendar: no bucket may exist at the current time.
+        assert sim.now not in sim._buckets
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    sim.run()
