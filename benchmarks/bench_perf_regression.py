@@ -1,10 +1,10 @@
-"""Performance-regression tracker: DES event throughput + sweep throughput.
+"""Performance-regression tracker: DES, sweep, and campaign throughput.
 
-Times the two hot paths this repo optimises -- the discrete-event
-simulator core and the experiment sweep engine -- and writes the numbers
-to ``BENCH_perf.json`` at the repo root so successive runs can be
-compared (see docs/performance.md for reference numbers and what a
-regression looks like).
+Times the hot paths this repo optimises -- the discrete-event simulator
+core, the experiment sweep engine, and the replicated campaign harness
+-- and writes the numbers to ``BENCH_perf.json`` at the repo root so
+successive runs can be compared (see docs/performance.md for reference
+numbers and what a regression looks like).
 
 Run:  python benchmarks/bench_perf_regression.py [--jobs N] [--rounds R] [--quick]
 
@@ -219,7 +219,7 @@ SWEEP_TOLERANCE = 0.25
 
 
 def _baseline_sweep_figure(report: dict) -> dict | None:
-    """The serial sweep figure from a schema-1 or schema-2 report."""
+    """The serial sweep figure from a schema-1/2/3 report."""
     if "sweeps" in report:  # schema >= 2
         return report["sweeps"].get("serial")
     return report.get("sweep")  # schema 1
@@ -263,6 +263,83 @@ def check_sweep(baseline_path: Path, tolerance: float = SWEEP_TOLERANCE) -> int:
     return 0
 
 
+# -----------------------------------------------------------------------
+# Campaign throughput: replicate points/second through repro.campaign
+# -----------------------------------------------------------------------
+
+#: Replicates per cell for the campaign benchmark (LU + FW, one nominal
+#: scenario each -> ``2 * CAMPAIGN_REPLICATES`` replicate points).
+CAMPAIGN_REPLICATES = 5
+
+#: Allowed fractional campaign-throughput shortfall before the
+#: (non-fatal) warning fires.  Same rationale as SWEEP_TOLERANCE: a
+#: replicate is tens of milliseconds, so scheduling noise is large.
+CAMPAIGN_TOLERANCE = 0.25
+
+
+def bench_campaign(replicates: int = CAMPAIGN_REPLICATES) -> dict:
+    """Run a serial LU+FW campaign; returns timing + replicate throughput."""
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(apps=("lu", "fw"), replicates=replicates, seed=0)
+    t0 = time.perf_counter()
+    manifest = run_campaign(spec, jobs=1, cache=False)
+    elapsed = time.perf_counter() - t0
+    if manifest["failures"]:
+        raise SystemExit(
+            f"campaign benchmark had {manifest['failures']} failed replicates"
+        )
+    return {
+        "replicates": replicates,
+        "points": manifest["points"],
+        "elapsed_s": elapsed,
+        "points_per_s": manifest["points"] / elapsed,
+    }
+
+
+def check_campaign(baseline_path: Path, tolerance: float = CAMPAIGN_TOLERANCE) -> int:
+    """Warn (never fail) when campaign throughput drops > ``tolerance``.
+
+    Warn-only because the campaign figure rides on the DES and sweep
+    floors already gated above; this check exists to surface drift in
+    the campaign harness's own overhead (perturbation sampling,
+    histogram merging, aggregation) early, not to break the build on a
+    noisy box.  Returns 0 always, except 2 when there is no baseline.
+    """
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; run without checks first")
+        return 2
+    report = json.loads(baseline_path.read_text())
+    ref_fig = report.get("campaign")
+    if not ref_fig or "points_per_s" not in ref_fig:
+        print(
+            f"baseline {baseline_path} has no campaign figure (schema "
+            f"{report.get('schema')}); re-record it to enable this check"
+        )
+        return 0
+    ref = ref_fig["points_per_s"]
+    floor = ref * (1.0 - tolerance)
+    figure = bench_campaign(int(ref_fig.get("replicates") or CAMPAIGN_REPLICATES))
+    measured = figure["points_per_s"]
+    status = classify_measurement(measured, ref, tolerance)
+    tag = {"ok": "ok", "regression": "WARN", "stale-baseline": "ok (stale?)"}[status]
+    print(
+        f"campaign/serial {measured:>8,.1f} points/s  "
+        f"(baseline {ref:,.1f}, floor {floor:,.1f}) {tag}"
+    )
+    if status == "regression":
+        print(
+            f"warning: campaign throughput dropped > {tolerance:.0%} below "
+            f"baseline (non-fatal; investigate or re-record)"
+        )
+    elif status == "stale-baseline":
+        print(
+            f"warning: campaign throughput exceeds baseline by > "
+            f"{STALE_FACTOR - 1:.0%}; re-record the baseline"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -295,6 +372,12 @@ def main(argv: list[str] | None = None) -> int:
         f"recorded baseline; non-zero exit when > {SWEEP_TOLERANCE:.0%} below",
     )
     parser.add_argument(
+        "--check-campaign",
+        action="store_true",
+        help="re-time the campaign harness and warn (non-fatal) when "
+        f"points/s lands > {CAMPAIGN_TOLERANCE:.0%} below the baseline",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.02,
@@ -309,12 +392,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.check_baseline or args.check_sweep:
+    if args.check_baseline or args.check_sweep or args.check_campaign:
         rc = 0
         if args.check_baseline:
             rc = check_baseline(args.output, args.rounds, args.tolerance, ledger=args.ledger)
         if args.check_sweep:
             rc = max(rc, check_sweep(args.output))
+        if args.check_campaign:
+            rc = max(rc, check_campaign(args.output))
         return rc
 
     scale = 10 if args.quick else 1
@@ -341,13 +426,21 @@ def main(argv: list[str] | None = None) -> int:
             f"[analytic={fp['analytic']} des={fp['des']}]"
         )
 
+    campaign = bench_campaign(3 if args.quick else CAMPAIGN_REPLICATES)
+    print(
+        f"campaign/serial {campaign['points']} points "
+        f"({campaign['replicates']} replicates/cell) in "
+        f"{campaign['elapsed_s']:.2f}s = {campaign['points_per_s']:.1f} points/s"
+    )
+
     report = {
-        "schema": 2,
+        "schema": 3,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": args.quick,
         "des_events_per_s": des,
         "sweeps": sweeps,
+        "campaign": campaign,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")

@@ -1,0 +1,86 @@
+"""Statistical campaign observatory: replicated runs, distributions, drift.
+
+A single simulation answers "what is the makespan?"; a *campaign*
+answers "what is the makespan *distribution*, and did it move?".  This
+package enumerates (app x preset x fault-scenario) cells, runs each one
+``replicates`` times under seeded randomized perturbations of the
+machine model (bandwidth/DRAM/clock jitter plus arrival-noise stalls),
+aggregates per-cell distributions into schema-versioned manifests in
+the run ledger, and statistically compares campaigns with a
+Mann-Whitney rank test plus effect-size gating.
+
+Layers:
+
+* :mod:`repro.campaign.seeds` -- master-seed resolution and SHA-256
+  sub-seed derivation (serial == parallel, bitwise);
+* :mod:`repro.campaign.perturb` -- the perturbation model, sampled
+  parent-side into :class:`~repro.faults.FaultScenario` draws;
+* :mod:`repro.campaign.runner` -- pluggable per-app replicate runners
+  (the built-in one simulates the LU/FW designs once per replicate);
+* :mod:`repro.campaign.core` -- spec, task grid, executor fan-out,
+  per-cell aggregation into the campaign manifest;
+* :mod:`repro.campaign.stats` -- Mann-Whitney U comparison and
+  pass/warn/fail verdicts per cell;
+* :mod:`repro.campaign.report` -- terminal rendering.
+
+CLI: ``repro campaign run | report | check``.  Docs:
+``docs/observability.md`` ("Campaigns").
+"""
+
+from .core import (
+    MANIFEST_SCHEMA,
+    CampaignSpec,
+    campaign_tasks,
+    cell_key,
+    iter_cells,
+    load_manifest,
+    run_campaign,
+    write_manifest,
+)
+from .perturb import PerturbationModel, default_model
+from .report import render_check, render_manifest
+from .runner import (
+    CAMPAIGN_BUCKETS,
+    DesignRunner,
+    ReplicateRunner,
+    register_runner,
+    resolve_runner,
+    run_replicate,
+)
+from .seeds import SEED_ENV_VAR, derive_seed, resolve_seed
+from .stats import (
+    DEFAULT_ALPHA,
+    DEFAULT_EFFECT,
+    compare_campaigns,
+    compare_cells,
+    mann_whitney_u,
+)
+
+__all__ = [
+    "CAMPAIGN_BUCKETS",
+    "CampaignSpec",
+    "DEFAULT_ALPHA",
+    "DEFAULT_EFFECT",
+    "DesignRunner",
+    "MANIFEST_SCHEMA",
+    "PerturbationModel",
+    "ReplicateRunner",
+    "SEED_ENV_VAR",
+    "campaign_tasks",
+    "cell_key",
+    "compare_campaigns",
+    "compare_cells",
+    "default_model",
+    "derive_seed",
+    "iter_cells",
+    "load_manifest",
+    "mann_whitney_u",
+    "register_runner",
+    "render_check",
+    "render_manifest",
+    "resolve_runner",
+    "resolve_seed",
+    "run_campaign",
+    "run_replicate",
+    "write_manifest",
+]

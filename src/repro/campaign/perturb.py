@@ -1,0 +1,132 @@
+"""Seeded randomized perturbations for campaign replicates.
+
+The design model predicts one makespan per (app, partition, machine)
+point; real machines jitter.  A :class:`PerturbationModel` describes how
+much -- multiplicative jitter on the network bandwidth ``B_n``, the
+FPGA<->DRAM streaming bandwidth ``B_d`` (the Eq. (1)/(4) ``D_f/B_d``
+term) and the FPGA clock ``F_f``, plus a burst of transient DMA stalls
+standing in for MPI arrival noise -- and :meth:`PerturbationModel.sample`
+materialises one concrete draw as a :class:`~repro.faults.FaultScenario`.
+
+Perturbations are *data* like every other scenario: sampling happens in
+the parent process from a derived sub-seed
+(:func:`repro.campaign.seeds.derive_seed`), the drawn scenario dict
+travels inside the replicate task, and the content-addressed result
+cache therefore keys each replicate by the exact perturbation it
+simulated.  The same master seed always reproduces the same campaign,
+bitwise, in any execution mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..faults.scenarios import FaultEvent, FaultScenario, StallBurst
+
+__all__ = ["PerturbationModel", "default_model"]
+
+
+@dataclass(frozen=True)
+class PerturbationModel:
+    """How much each machine parameter jitters per replicate.
+
+    ``bandwidth_jitter`` and ``dram_jitter`` draw symmetric uniform
+    factors ``1 +/- jitter`` for ``B_n`` and ``B_d``; ``clock_jitter``
+    draws a throttle-only factor in ``[1 - jitter, 1]`` for ``F_f``
+    (clocks throttle under load, they do not overclock).  ``stall_count``
+    transient DMA stalls (mean ``stall_mean`` seconds, arriving in the
+    first ``stall_window`` simulated seconds) model MPI arrival noise.
+    Any knob set to zero switches that perturbation off; the zero model
+    reproduces the deterministic point runs.
+    """
+
+    bandwidth_jitter: float = 0.05
+    dram_jitter: float = 0.05
+    clock_jitter: float = 0.05
+    stall_count: int = 4
+    stall_window: float = 5.0
+    stall_mean: float = 2e-3
+
+    def __post_init__(self) -> None:
+        for name in ("bandwidth_jitter", "dram_jitter", "clock_jitter"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        if self.stall_count < 0:
+            raise ValueError(f"stall_count must be >= 0, got {self.stall_count}")
+        if self.stall_count and (self.stall_window <= 0 or self.stall_mean <= 0):
+            raise ValueError("stall_window and stall_mean must be positive")
+
+    @property
+    def is_null(self) -> bool:
+        """True when every knob is off (replicates are deterministic)."""
+        return (
+            self.bandwidth_jitter == 0.0
+            and self.dram_jitter == 0.0
+            and self.clock_jitter == 0.0
+            and self.stall_count == 0
+        )
+
+    def sample(self, seed: int, base: Optional[FaultScenario] = None) -> FaultScenario:
+        """One concrete perturbation draw as a fault scenario.
+
+        All draws flow through ``random.Random(seed)`` in a fixed order
+        (bandwidth, DRAM, clock), so a sub-seed pins the whole draw.
+        ``base`` faults (the cell's scenario) are carried over verbatim;
+        the returned scenario's seed is ``seed``, so the base's
+        stochastic bursts re-expand per replicate -- that is the arrival
+        noise varying across replicates, by design.
+        """
+        rng = random.Random(seed)
+        events: list[FaultEvent] = list(base.events) if base is not None else []
+        bursts: list[StallBurst] = list(base.bursts) if base is not None else []
+        if self.bandwidth_jitter:
+            factor = 1.0 + rng.uniform(-self.bandwidth_jitter, self.bandwidth_jitter)
+            events.append(FaultEvent(kind="link_slowdown", factor=factor))
+        if self.dram_jitter:
+            factor = 1.0 + rng.uniform(-self.dram_jitter, self.dram_jitter)
+            events.append(FaultEvent(kind="dram_contention", factor=factor))
+        if self.clock_jitter:
+            factor = 1.0 - rng.uniform(0.0, self.clock_jitter)
+            events.append(FaultEvent(kind="fpga_throttle", factor=factor))
+        if self.stall_count:
+            bursts.append(
+                StallBurst(
+                    count=self.stall_count,
+                    start=0.0,
+                    window=self.stall_window,
+                    mean_duration=self.stall_mean,
+                )
+            )
+        name = f"{base.name}+perturb" if base is not None and base.name else "perturb"
+        return FaultScenario(name=name, events=tuple(events), bursts=tuple(bursts), seed=seed)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bandwidth_jitter": self.bandwidth_jitter,
+            "dram_jitter": self.dram_jitter,
+            "clock_jitter": self.clock_jitter,
+            "stall_count": self.stall_count,
+            "stall_window": self.stall_window,
+            "stall_mean": self.stall_mean,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PerturbationModel":
+        return cls(
+            bandwidth_jitter=float(data.get("bandwidth_jitter", 0.0)),
+            dram_jitter=float(data.get("dram_jitter", 0.0)),
+            clock_jitter=float(data.get("clock_jitter", 0.0)),
+            stall_count=int(data.get("stall_count", 0)),
+            stall_window=float(data.get("stall_window", 5.0)),
+            stall_mean=float(data.get("stall_mean", 2e-3)),
+        )
+
+
+def default_model() -> PerturbationModel:
+    """The stock perturbation model: 5% jitter + a light stall burst."""
+    return PerturbationModel()

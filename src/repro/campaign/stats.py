@@ -1,0 +1,214 @@
+"""Statistical regression flagging between campaign manifests.
+
+The observatory's question is not "did the median move?" but "did the
+*distribution* move more than replicate noise explains?".  Cells are
+compared with a two-sided Mann-Whitney U test (nonparametric -- DES
+makespans under fault injection are not remotely normal) gated by a
+practical effect-size threshold on the relative median shift, so a
+statistically-detectable-but-microscopic drift does not fail a build
+and a large-but-noisy shift does not slip through.
+
+Verdict semantics per cell:
+
+* ``fail`` -- significant (p < alpha) *slowdown* beyond the effect
+  threshold: a flagged regression.
+* ``warn`` -- significant shift that is an improvement, or significant
+  but below the effect threshold, or a large median shift that does not
+  reach significance (under-powered: too few replicates), or the cell
+  cannot be tested (insufficient replicates, cell missing on one side).
+* ``pass`` -- no statistically significant shift.
+
+Identical manifests always yield all-``pass``: every sample ties, the
+rank-variance tie correction drives sigma to zero, and that is defined
+as p = 1.  This is the determinism gate's anchor -- re-running a
+campaign against itself must flag nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_EFFECT",
+    "mann_whitney_u",
+    "compare_cells",
+    "compare_campaigns",
+]
+
+#: Two-sided significance level for the Mann-Whitney test.
+DEFAULT_ALPHA = 0.05
+
+#: Minimum relative median shift (2%) for a significant slowdown to be
+#: a ``fail`` rather than a ``warn``.
+DEFAULT_EFFECT = 0.02
+
+
+def _rank(values: Sequence[float]) -> list[float]:
+    """Average ranks (1-based) with ties sharing the mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def mann_whitney_u(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U between samples ``xs`` and ``ys``.
+
+    Returns ``(U, p)`` where ``U`` is the statistic for ``xs`` and
+    ``p`` uses the normal approximation with tie and continuity
+    corrections -- exact enough for the replicate counts campaigns run
+    (a handful to a few hundred), with no SciPy dependency.  When every
+    observation ties (sigma = 0) the distributions are
+    indistinguishable and ``p`` is 1.0 by definition.
+    """
+    n1, n2 = len(xs), len(ys)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    combined = list(xs) + list(ys)
+    ranks = _rank(combined)
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    n = n1 + n2
+    # Tie correction: sum of (t^3 - t) over tie groups.
+    tie_term = 0.0
+    i = 0
+    ordered = sorted(combined)
+    while i < n:
+        j = i
+        while j + 1 < n and ordered[j + 1] == ordered[i]:
+            j += 1
+        t = j - i + 1
+        if t > 1:
+            tie_term += t**3 - t
+        i = j + 1
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0.0:
+        return u1, 1.0
+    sigma = math.sqrt(variance)
+    z = (abs(u1 - mu) - 0.5) / sigma
+    if z < 0.0:
+        z = 0.0
+    p = math.erfc(z / math.sqrt(2.0))
+    return u1, min(1.0, p)
+
+
+def _cell_samples(cell: dict[str, Any]) -> list[float]:
+    block = cell.get("makespan") or {}
+    return [float(v) for v in block.get("samples") or []]
+
+
+def compare_cells(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    effect_threshold: float = DEFAULT_EFFECT,
+) -> dict[str, Any]:
+    """Compare one cell's makespan distribution against its baseline."""
+    xs = _cell_samples(baseline)
+    ys = _cell_samples(current)
+    out: dict[str, Any] = {
+        "n_baseline": len(xs),
+        "n_current": len(ys),
+        "baseline_median": (baseline.get("makespan") or {}).get("median"),
+        "median": (current.get("makespan") or {}).get("median"),
+        "p_value": None,
+        "u": None,
+        "median_shift": None,
+        "significant": False,
+    }
+    if len(xs) < 2 or len(ys) < 2:
+        out["verdict"] = "warn"
+        out["note"] = "insufficient replicates for the rank test"
+        return out
+    u, p = mann_whitney_u(xs, ys)
+    base_median = out["baseline_median"]
+    cur_median = out["median"]
+    shift: Optional[float] = None
+    if base_median:
+        shift = (cur_median - base_median) / base_median
+    significant = p < alpha
+    out.update({"p_value": p, "u": u, "median_shift": shift, "significant": significant})
+    if not significant:
+        if shift is not None and abs(shift) > effect_threshold:
+            out["verdict"] = "warn"
+            out["note"] = (
+                f"median moved {shift:+.1%} but not significantly "
+                "(too few replicates?)"
+            )
+        else:
+            out["verdict"] = "pass"
+    elif shift is not None and shift > effect_threshold:
+        out["verdict"] = "fail"
+        out["note"] = f"significant slowdown ({shift:+.1%} median)"
+    elif shift is not None and shift < -effect_threshold:
+        out["verdict"] = "warn"
+        out["note"] = f"significant improvement ({shift:+.1%} median)"
+    else:
+        out["verdict"] = "warn"
+        out["note"] = "significant shift below the effect threshold"
+    return out
+
+
+def compare_campaigns(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    effect_threshold: float = DEFAULT_EFFECT,
+) -> dict[str, Any]:
+    """Cell-by-cell regression check of ``current`` against ``baseline``.
+
+    Returns a ``campaign_check`` document: per-cell verdicts, the
+    ``flagged`` regression list, and the overall ``verdict`` (worst
+    cell verdict; missing cells on either side count as ``warn``).
+    """
+    base_cells = baseline.get("cells") or {}
+    cur_cells = current.get("cells") or {}
+    shared = sorted(set(base_cells) & set(cur_cells))
+    baseline_only = sorted(set(base_cells) - set(cur_cells))
+    current_only = sorted(set(cur_cells) - set(base_cells))
+    cells: dict[str, dict[str, Any]] = {}
+    for key in shared:
+        cells[key] = compare_cells(
+            base_cells[key],
+            cur_cells[key],
+            alpha=alpha,
+            effect_threshold=effect_threshold,
+        )
+    flagged = [key for key in shared if cells[key]["verdict"] == "fail"]
+    warned = [key for key in shared if cells[key]["verdict"] == "warn"]
+    if flagged:
+        verdict = "fail"
+    elif warned or baseline_only or current_only:
+        verdict = "warn"
+    else:
+        verdict = "pass"
+    result: dict[str, Any] = {
+        "kind": "campaign_check",
+        "preset": current.get("preset"),
+        "alpha": alpha,
+        "effect_threshold": effect_threshold,
+        "verdict": verdict,
+        "flagged": flagged,
+        "cells": cells,
+    }
+    if baseline_only or current_only:
+        result["missing"] = {
+            "baseline_only": baseline_only,
+            "current_only": current_only,
+        }
+    return result

@@ -28,6 +28,12 @@ Fault injection and graceful degradation under ``repro-xd1 faults``::
     faults sweep --apps lu,fw --scenarios degraded-link,flaky-dma --ledger L
     faults report --ledger L
 
+Replicated statistical campaigns under ``repro-xd1 campaign``::
+
+    campaign run   --replicates 20 --seed 7 --out campaign.json --ledger L
+    campaign report --manifest campaign.json        # or --ledger L
+    campaign check --baseline base.json --manifest campaign.json
+
 Schemas: docs/observability.md; fault scenarios and policies:
 docs/robustness.md.  All output goes through one BrokenPipe-safe
 writer, so ``repro-xd1 ... | head`` never stack-traces.
@@ -429,6 +435,65 @@ def main(argv: list[str] | None = None) -> int:
     frep.add_argument("--json", action="store_true", help="emit the report as JSON")
     frep.set_defaults(fn=_cmd_faults_report)
 
+    cmp_ = sub.add_parser(
+        "campaign", help="replicated statistical campaigns and drift checks"
+    )
+    cmp_sub = cmp_.add_subparsers(dest="campaign_command", required=True)
+
+    crun = cmp_sub.add_parser(
+        "run", help="apps x scenarios grid, N seeded replicates per cell"
+    )
+    crun.add_argument("--apps", default="lu,fw", help="comma-separated: lu,fw")
+    crun.add_argument("--preset", default="xd1")
+    crun.add_argument("--scenarios", default="nominal",
+                      help="comma-separated library scenario names")
+    crun.add_argument("--replicates", type=int, default=20,
+                      help="replicates per cell (default 20)")
+    crun.add_argument("--seed", default=None,
+                      help="master seed (default: $REPRO_SEED, else 0)")
+    crun.add_argument("--jitter", type=float, default=0.05,
+                      help="bandwidth/DRAM/clock jitter amplitude (default 0.05)")
+    crun.add_argument("--stalls", type=int, default=4,
+                      help="transient DMA stalls per replicate (arrival noise)")
+    crun.add_argument("--throttle-fpga", type=float, default=None, metavar="FACTOR",
+                      help="persistent FPGA clock factor on every cell (e.g. 0.8)")
+    crun.add_argument("--factor", type=float, default=None,
+                      help="rate factor for the base scenarios")
+    crun.add_argument("--jobs", default=None,
+                      help="worker processes (int or 'auto'; default: $REPRO_PARALLEL)")
+    crun.add_argument("--cache", default=None,
+                      help="result-cache directory ('off' disables; default: $REPRO_CACHE)")
+    crun.add_argument("--out", default=None, metavar="PATH",
+                      help="write the campaign manifest as JSON")
+    crun.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append a 'campaign' manifest to this run ledger")
+    crun.add_argument("--json", action="store_true", help="emit the manifest as JSON")
+    crun.set_defaults(fn=_cmd_campaign_run)
+
+    crep = cmp_sub.add_parser("report", help="per-cell distribution summary")
+    crep.add_argument("--manifest", default=None, metavar="PATH",
+                      help="campaign manifest JSON (from 'campaign run --out')")
+    crep.add_argument("--ledger", default=None, metavar="PATH",
+                      help="read the latest 'campaign' entry from this ledger")
+    crep.add_argument("--json", action="store_true", help="emit the manifest as JSON")
+    crep.set_defaults(fn=_cmd_campaign_report)
+
+    cchk = cmp_sub.add_parser(
+        "check", help="statistical regression check against a baseline campaign"
+    )
+    cchk.add_argument("--baseline", required=True, metavar="PATH",
+                      help="baseline campaign manifest JSON")
+    cchk.add_argument("--manifest", required=True, metavar="PATH",
+                      help="current campaign manifest JSON")
+    cchk.add_argument("--alpha", type=float, default=None,
+                      help="Mann-Whitney significance level (default 0.05)")
+    cchk.add_argument("--effect", type=float, default=None,
+                      help="relative median-shift threshold (default 0.02)")
+    cchk.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append a 'campaign_check' manifest to this run ledger")
+    cchk.add_argument("--json", action="store_true", help="emit the verdicts as JSON")
+    cchk.set_defaults(fn=_cmd_campaign_check)
+
     args = parser.parse_args(argv)
     _p.reset()
     try:
@@ -730,6 +795,147 @@ def _cmd_faults_report(args: argparse.Namespace) -> int:
     else:
         _p(report.render_ascii())
     return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .campaign import (
+        CampaignSpec,
+        PerturbationModel,
+        render_manifest,
+        resolve_seed,
+        run_campaign,
+    )
+    from .faults import build_scenario
+    from .parallel import resolve_jobs
+
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    try:
+        seed = resolve_seed(args.seed)
+        scenarios = tuple(
+            build_scenario(name.strip(), factor=args.factor, seed=seed)
+            for name in args.scenarios.split(",")
+            if name.strip()
+        )
+        perturb = PerturbationModel(
+            bandwidth_jitter=args.jitter,
+            dram_jitter=args.jitter,
+            clock_jitter=args.jitter,
+            stall_count=args.stalls,
+        )
+        spec = CampaignSpec(
+            apps=apps,
+            preset=args.preset,
+            scenarios=scenarios,
+            replicates=args.replicates,
+            seed=seed,
+            perturb=perturb,
+            throttle_fpga=args.throttle_fpga,
+        )
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    cache = args.cache
+    if cache is not None and cache.strip().lower() in ("", "off", "0", "none", "false"):
+        cache = False
+    try:
+        manifest = run_campaign(spec, jobs=args.jobs, cache=cache)
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    if args.json:
+        _p(_json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        _p(render_manifest(manifest))
+    if args.out:
+        from .campaign import write_manifest
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_manifest(manifest, str(path))
+        _p(f"manifest written to {path}")
+    if args.ledger:
+        from .obs import RunLedger, campaign_entry
+
+        ledger = RunLedger(args.ledger)
+        ledger.append(campaign_entry(manifest, source="cli"))
+        _p(f"campaign manifest appended to {ledger.path}")
+    return 0
+
+
+def _load_campaign_manifest(args: argparse.Namespace) -> dict | None:
+    """The manifest named by ``--manifest`` or the latest ledger entry."""
+    from .campaign import load_manifest
+    from .obs import LedgerError, RunLedger
+
+    if args.manifest:
+        return load_manifest(args.manifest)
+    if args.ledger:
+        entries = RunLedger(args.ledger).entries(kind="campaign")
+        if not entries:
+            raise LedgerError(f"{args.ledger}: no campaign entries")
+        return entries[-1]
+    return None
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .campaign import render_manifest
+    from .obs import LedgerError
+
+    try:
+        manifest = _load_campaign_manifest(args)
+    except (OSError, ValueError, LedgerError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    if manifest is None:
+        _p("error: pass --manifest PATH or --ledger PATH")
+        return 2
+    if args.json:
+        _p(_json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        _p(render_manifest(manifest))
+    return 0
+
+
+def _cmd_campaign_check(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .campaign import (
+        DEFAULT_ALPHA,
+        DEFAULT_EFFECT,
+        compare_campaigns,
+        load_manifest,
+        render_check,
+    )
+
+    try:
+        baseline = load_manifest(args.baseline)
+        current = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    comparison = compare_campaigns(
+        baseline,
+        current,
+        alpha=args.alpha if args.alpha is not None else DEFAULT_ALPHA,
+        effect_threshold=args.effect if args.effect is not None else DEFAULT_EFFECT,
+    )
+    if args.json:
+        _p(_json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        _p(render_check(comparison))
+    if args.ledger:
+        from .obs import RunLedger, campaign_check_entry
+
+        ledger = RunLedger(args.ledger)
+        ledger.append(campaign_check_entry(comparison, source="cli"))
+        _p(f"campaign_check manifest appended to {ledger.path}")
+    return 1 if comparison["verdict"] == "fail" else 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:

@@ -57,6 +57,8 @@ from .ledger import (
     LedgerError,
     RunLedger,
     bench_entry,
+    campaign_check_entry,
+    campaign_entry,
     current_git_sha,
     design_run_entry,
     entries_from_metrics,
@@ -88,6 +90,8 @@ __all__ = [
     "Tracer",
     "bench_entry",
     "busy_by_resource",
+    "campaign_check_entry",
+    "campaign_entry",
     "chrome_trace_events",
     "classify_label",
     "critical_path",

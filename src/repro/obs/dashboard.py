@@ -4,12 +4,15 @@ Two renderers over the same ledger content:
 
 * :func:`render_ascii` -- a terminal/CI-log view: per app x preset
   fidelity trend (latest / mean / range / drift plus a text sparkline),
-  the latest critical-path attribution per app, and the latest
-  resilience outcome per fault scenario (``fault_run`` entries);
+  the latest critical-path attribution per app, the latest resilience
+  outcome per fault scenario (``fault_run`` entries), and the campaign
+  panel: per-cell makespan distributions with drift arrows against the
+  previous campaign plus the latest statistical check verdicts
+  (``campaign`` / ``campaign_check`` entries);
 * :func:`render_html` -- a self-contained HTML page (inline CSS + SVG,
   no external assets or scripts) with the same content: a fidelity
-  table with trend sparklines, per-resource critical-path bars, and the
-  resilience table.
+  table with trend sparklines, per-resource critical-path bars, the
+  resilience table, and the campaign distribution / verdict tables.
 
 Both are pure functions of the ledger entries so tests can pin them;
 the CLI front-end is ``repro-xd1 obs dashboard``.
@@ -66,6 +69,40 @@ def _latest_fault_runs(entries: list[dict[str, Any]]) -> dict[tuple[str, str, st
         )
         out[key] = entry
     return out
+
+
+def _campaign_series(
+    entries: list[dict[str, Any]],
+) -> dict[str, tuple[dict, Optional[dict]]]:
+    """(latest, previous) ``campaign`` entry per preset, in ledger order."""
+    by_preset: dict[str, list[dict]] = {}
+    for entry in entries:
+        if entry.get("kind") == "campaign" and isinstance(entry.get("cells"), dict):
+            by_preset.setdefault(str(entry.get("preset")), []).append(entry)
+    return {
+        preset: (runs[-1], runs[-2] if len(runs) > 1 else None)
+        for preset, runs in by_preset.items()
+    }
+
+
+def _latest_campaign_check(entries: list[dict[str, Any]]) -> Optional[dict]:
+    """The newest ``campaign_check`` entry, if any."""
+    latest = None
+    for entry in entries:
+        if entry.get("kind") == "campaign_check":
+            latest = entry
+    return latest
+
+
+def _cell_drift(cell: dict, prev_cell: Optional[dict]) -> Optional[float]:
+    """Relative median shift of a cell vs the previous campaign's cell."""
+    if not prev_cell:
+        return None
+    cur = (cell.get("makespan") or {}).get("median")
+    prev = (prev_cell.get("makespan") or {}).get("median")
+    if cur is None or not prev:
+        return None
+    return (cur - prev) / prev
 
 
 # ------------------------------------------------------------------ ASCII
@@ -126,7 +163,68 @@ def render_ascii(entries: list[dict[str, Any]], band: float = DEFAULT_BAND) -> s
                 f"inflation {'-' if inflation is None else format(inflation, '.3f') + 'x'}  "
                 f"attributed to {term}"
             )
+    campaigns = _campaign_series(entries)
+    if campaigns:
+        lines.append("")
+        lines.append("campaigns (per-cell makespan distributions, latest per preset):")
+        for preset in sorted(campaigns):
+            latest, previous = campaigns[preset]
+            prev_cells = (previous or {}).get("cells") or {}
+            lines.append(
+                f"  preset {preset}: {latest.get('replicates')} replicates x "
+                f"{len(latest.get('cells') or {})} cells, "
+                f"{latest.get('failures', 0)} failed replicates"
+            )
+            for key in sorted(latest.get("cells") or {}):
+                cell = latest["cells"][key]
+                mk = cell.get("makespan") or {}
+                drift = _cell_drift(cell, prev_cells.get(key))
+                if drift is None:
+                    arrow = "      -"
+                else:
+                    mark = "^" if drift > 0.001 else "v" if drift < -0.001 else "="
+                    arrow = f"{mark}{drift:+.1%}"
+                lines.append(
+                    "    {key:<28} median {median}  iqr {iqr}  p95 {p95}  "
+                    "n={done}/{total}  |{spark}|  drift {arrow}".format(
+                        key=key,
+                        median=_fmt_s(mk.get("median")),
+                        iqr=_fmt_s(mk.get("iqr")),
+                        p95=_fmt_s(mk.get("p95")),
+                        done=cell.get("completed", 0),
+                        total=cell.get("replicates", 0),
+                        spark=text_sparkline([float(v) for v in mk.get("samples") or []]),
+                        arrow=arrow,
+                    )
+                )
+    check = _latest_campaign_check(entries)
+    if check:
+        lines.append("")
+        lines.append(
+            f"campaign regression check (latest): verdict {check.get('verdict')}  "
+            f"alpha {check.get('alpha')}  effect {check.get('effect_threshold')}  "
+            f"flagged {len(check.get('flagged') or [])}"
+        )
+        cells = check.get("cells") or {}
+        for key in sorted(cells):
+            cell = cells[key]
+            verdict = str(cell.get("verdict", "?"))
+            shift = cell.get("median_shift")
+            p = cell.get("p_value")
+            lines.append(
+                "  [{mark:<4}] {key}  shift {shift}  p {p}{note}".format(
+                    mark="FAIL" if verdict == "fail" else verdict,
+                    key=key,
+                    shift="-" if shift is None else f"{shift:+.2%}",
+                    p="-" if p is None else f"{p:.4g}",
+                    note=f"  ({cell['note']})" if cell.get("note") else "",
+                )
+            )
     return "\n".join(lines)
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4g}s"
 
 
 # ------------------------------------------------------------------- HTML
@@ -279,6 +377,98 @@ def _resilience_table(entries: list[dict[str, Any]]) -> str:
     )
 
 
+def _campaign_tables(entries: list[dict[str, Any]]) -> str:
+    campaigns = _campaign_series(entries)
+    if not campaigns:
+        return ""
+    blocks = []
+    for preset in sorted(campaigns):
+        latest, previous = campaigns[preset]
+        prev_cells = (previous or {}).get("cells") or {}
+        rows = []
+        for key in sorted(latest.get("cells") or {}):
+            cell = latest["cells"][key]
+            mk = cell.get("makespan") or {}
+            eff = cell.get("efficiency") or {}
+            samples = [float(v) for v in mk.get("samples") or []]
+            median = mk.get("median")
+            eff_median = eff.get("median")
+            eff_cell = "-" if eff_median is None else f"{eff_median:.4f}"
+            drift = _cell_drift(cell, prev_cells.get(key))
+            if drift is None:
+                drift_html = '<span class="sub">&ndash;</span>'
+            elif drift > 0.001:
+                drift_html = f'<span class="status below">&#9650; {drift:+.1%}</span>'
+            elif drift < -0.001:
+                drift_html = f'<span class="status ok">&#9660; {drift:+.1%}</span>'
+            else:
+                drift_html = f'<span class="sub">= {drift:+.1%}</span>'
+            spark = (
+                _spark_svg(samples, band=median)
+                if samples and median is not None
+                else ""
+            )
+            rows.append(
+                "<tr>"
+                f"<td>{escape(key)}</td>"
+                f'<td class="num">{_fmt_s(median)}</td>'
+                f'<td class="num">{_fmt_s(mk.get("iqr"))}</td>'
+                f'<td class="num">{_fmt_s(mk.get("p95"))}</td>'
+                f'<td class="num">{_fmt_s(mk.get("p99"))}</td>'
+                f'<td class="num">{eff_cell}</td>'
+                f'<td class="num">{cell.get("completed", 0)}/{cell.get("replicates", 0)}</td>'
+                f"<td>{spark}</td>"
+                f"<td>{drift_html}</td>"
+                "</tr>"
+            )
+        blocks.append(
+            f"<h2>Campaign distributions ({escape(preset)})</h2>"
+            f'<p class="sub">{latest.get("replicates")} seeded replicates per cell; '
+            "drift vs the previous campaign on this preset (line = cell median)</p>"
+            "<table><thead><tr><th>cell</th><th class='num'>median</th>"
+            "<th class='num'>IQR</th><th class='num'>p95</th><th class='num'>p99</th>"
+            "<th class='num'>eff</th><th class='num'>replicates</th>"
+            "<th>distribution</th><th>drift</th></tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+    return "\n".join(blocks)
+
+
+def _campaign_check_table(entries: list[dict[str, Any]]) -> str:
+    check = _latest_campaign_check(entries)
+    if not check:
+        return ""
+    verdict = str(check.get("verdict", "?"))
+    rows = []
+    cells = check.get("cells") or {}
+    for key in sorted(cells):
+        cell = cells[key]
+        cell_verdict = str(cell.get("verdict", "?"))
+        shift = cell.get("median_shift")
+        p = cell.get("p_value")
+        rows.append(
+            "<tr>"
+            f"<td>{escape(key)}</td>"
+            f'<td class="status {"below" if cell_verdict == "fail" else "ok"}">'
+            f"{escape(cell_verdict)}</td>"
+            f'<td class="num">{"-" if shift is None else f"{shift:+.2%}"}</td>'
+            f'<td class="num">{"-" if p is None else f"{p:.4g}"}</td>'
+            f'<td class="lane">{escape(str(cell.get("note") or ""))}</td>'
+            "</tr>"
+        )
+    return (
+        "<h2>Campaign regression check</h2>"
+        f'<p class="sub">latest verdict: <strong>{escape(verdict)}</strong> '
+        f"(alpha {check.get('alpha')}, effect threshold "
+        f"{check.get('effect_threshold')}, "
+        f"{len(check.get('flagged') or [])} flagged)</p>"
+        "<table><thead><tr><th>cell</th><th>verdict</th>"
+        "<th class='num'>median shift</th><th class='num'>p-value</th>"
+        "<th>note</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
 def render_html(
     entries: list[dict[str, Any]],
     band: float = DEFAULT_BAND,
@@ -309,6 +499,8 @@ def render_html(
 {fidelity_table}
 {_critical_path_tables(entries)}
 {_resilience_table(entries)}
+{_campaign_tables(entries)}
+{_campaign_check_table(entries)}
 </body>
 </html>
 """

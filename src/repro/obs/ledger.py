@@ -1,7 +1,8 @@
-"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 3``).
+"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 4``).
 
 Every instrumented run -- an LU/FW/MM design run, an experiments sweep,
-a ``bench_perf_regression`` baseline check, a fault-injection run -- can
+a ``bench_perf_regression`` baseline check, a fault-injection run, a
+statistical campaign or a campaign regression check -- can
 append one *manifest* line to a JSON-lines ledger file.  A manifest records everything needed
 to compare runs across commits and machines: git SHA, machine preset,
 the partition decisions ``(b_p, b_f, l)`` / ``(l1, l2)`` / ``(m_f, r)``,
@@ -37,20 +38,28 @@ __all__ = [
     "experiments_entry",
     "bench_entry",
     "fault_run_entry",
+    "campaign_entry",
+    "campaign_check_entry",
 ]
 
 #: Current ledger schema version.  Schema 1 was the metrics-file format
 #: (``METRICS_SCHEMA``); the ledger introduced the cross-run manifest as
-#: schema 2; schema 3 adds the ``fault_run`` kind (resilience manifests
-#: from :mod:`repro.faults`).  Entries written by older schemas remain
-#: readable: :meth:`RunLedger.entries` accepts any ``schema <= 3``.
-#: Bump on breaking changes to the entry layout.
-LEDGER_SCHEMA = 3
+#: schema 2; schema 3 added the ``fault_run`` kind (resilience manifests
+#: from :mod:`repro.faults`); schema 4 adds the ``campaign`` and
+#: ``campaign_check`` kinds (replicated-scenario distribution manifests
+#: and statistical regression verdicts from :mod:`repro.campaign`).
+#: Entries written by older schemas remain readable:
+#: :meth:`RunLedger.entries` accepts any ``schema <= 4``.  Bump on
+#: breaking changes to the entry layout.
+LEDGER_SCHEMA = 4
 
 #: Entry kinds the observatory understands.  ``design_run`` entries feed
 #: the fidelity analysis, ``fault_run`` entries feed the resilience
-#: report; the others are audit records.
-ENTRY_KINDS = ("design_run", "experiments", "bench", "fault_run")
+#: report, ``campaign``/``campaign_check`` entries feed the campaign
+#: observatory; the others are audit records.
+ENTRY_KINDS = (
+    "design_run", "experiments", "bench", "fault_run", "campaign", "campaign_check",
+)
 
 #: Environment override for :func:`current_git_sha` (useful in CI and
 #: in tests where the checkout SHA is not the interesting identity).
@@ -428,6 +437,84 @@ def bench_entry(
     }
     if tolerance is not None:
         entry["tolerance"] = tolerance
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def campaign_entry(
+    manifest: dict[str, Any],
+    *,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """A ``campaign`` manifest: per-cell makespan distributions.
+
+    ``manifest`` is the dict produced by
+    :func:`repro.campaign.run_campaign` (this module stays stdlib-only,
+    so it takes the plain dict): a ``spec`` block (apps, preset,
+    scenarios, replicates, master seed, perturbation model) and a
+    ``cells`` map keyed by ``app@preset/scenario`` holding each cell's
+    replicate samples, merged histogram and median/IQR/p95/p99 summary.
+    """
+    if manifest.get("kind") != "campaign":
+        raise LedgerError(f"not a campaign manifest: kind={manifest.get('kind')!r}")
+    for key in ("spec", "cells"):
+        if not isinstance(manifest.get(key), dict):
+            raise LedgerError(f"campaign manifest is missing {key!r}")
+    spec = manifest["spec"]
+    entry: dict[str, Any] = {
+        "kind": "campaign",
+        "app": "campaign",
+        "preset": spec.get("preset") or "xd1",
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "manifest_schema": manifest.get("manifest_schema"),
+        "spec": dict(spec),
+        "cells": dict(manifest["cells"]),
+        "replicates": manifest.get("replicates"),
+        "points": manifest.get("points"),
+        "failures": manifest.get("failures"),
+    }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def campaign_check_entry(
+    comparison: dict[str, Any],
+    *,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """A ``campaign_check`` manifest: statistical regression verdicts.
+
+    ``comparison`` is the dict from
+    :func:`repro.campaign.compare_campaigns`: per-cell Mann-Whitney
+    p-values, median shifts and pass/warn/fail verdicts for a campaign
+    against a baseline campaign.
+    """
+    if manifest_kind := comparison.get("kind"):
+        if manifest_kind != "campaign_check":
+            raise LedgerError(
+                f"not a campaign comparison: kind={manifest_kind!r}"
+            )
+    if not isinstance(comparison.get("cells"), dict):
+        raise LedgerError("campaign comparison is missing 'cells'")
+    entry: dict[str, Any] = {
+        "kind": "campaign_check",
+        "app": "campaign",
+        "preset": comparison.get("preset") or "xd1",
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "verdict": comparison.get("verdict"),
+        "alpha": comparison.get("alpha"),
+        "effect_threshold": comparison.get("effect_threshold"),
+        "cells": dict(comparison["cells"]),
+        "flagged": list(comparison.get("flagged") or ()),
+    }
     if note:
         entry["note"] = note
     return entry

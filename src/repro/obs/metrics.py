@@ -32,6 +32,7 @@ from typing import Any, Optional
 
 __all__ = [
     "Counter",
+    "EXACT_QUANTILE_SAMPLES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -46,6 +47,26 @@ DEFAULT_BUCKETS = (
     1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
     1.0, 4.0, 16.0, 64.0, 128.0,
 )
+
+#: Below this observation count a histogram keeps the raw samples and
+#: answers quantiles exactly; past it the samples are dropped and the
+#: bucket interpolation takes over.  Sized for statistical campaigns
+#: (tens of replicates per cell), small enough that the retained list
+#: never matters for hot-path instruments.
+EXACT_QUANTILE_SAMPLES = 64
+
+
+def _exact_quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of a pre-sorted sample list."""
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    pos = q * (n - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0 or lo + 1 >= n:
+        return ordered[lo]
+    return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
 
 
 class Counter:
@@ -104,9 +125,21 @@ class Histogram:
 
     Buckets are cumulative-style upper bounds; one implicit ``+inf``
     bucket catches overflow, so ``observe`` never loses an observation.
+
+    Up to :data:`EXACT_QUANTILE_SAMPLES` observations the raw samples
+    are retained and :meth:`quantile` is exact; beyond that the samples
+    are dropped and quantiles fall back to bucket interpolation.
+    Histograms are *mergeable*: :meth:`merge` combines another
+    histogram with identical bounds (per-replicate histograms from
+    worker processes combine without precision loss -- bucket counts,
+    count/sum/min/max and, below the cutoff, the exact samples), and
+    :meth:`to_dict`/:meth:`from_dict` round-trip one across a process
+    boundary or a JSON manifest.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max", "samples",
+    )
     kind = "histogram"
 
     def __init__(
@@ -123,6 +156,9 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: Raw observations while count <= EXACT_QUANTILE_SAMPLES; None
+        #: once the histogram has outgrown exact-quantile mode.
+        self.samples: Optional[list[float]] = []
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_right(self.bounds, value)] += 1
@@ -132,20 +168,28 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.samples is not None:
+            if self.count <= EXACT_QUANTILE_SAMPLES:
+                self.samples.append(value)
+            else:
+                self.samples = None
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile by linear interpolation within buckets.
+        """Quantile: exact below the sample cutoff, interpolated above.
 
         Returns 0.0 for an empty histogram; exact min/max at q=0/1.
-        The interpolated value is clamped to the observed ``[min, max]``
-        -- without the clamp, a bucket's nominal bounds leak into the
-        answer (most visibly in the overflow bucket, whose only honest
-        upper bound is the observed max, and in sparse buckets whose
-        upper bound exceeds every sample).
+        While the raw samples are retained (count <=
+        :data:`EXACT_QUANTILE_SAMPLES`) the answer is the linear-
+        interpolated sample quantile.  Past the cutoff it is a linear
+        interpolation within buckets, clamped to the observed
+        ``[min, max]`` -- without the clamp, a bucket's nominal bounds
+        leak into the answer (most visibly in the overflow bucket,
+        whose only honest upper bound is the observed max, and in
+        sparse buckets whose upper bound exceeds every sample).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -155,6 +199,8 @@ class Histogram:
             return self.min
         if q == 1.0:
             return self.max
+        if self.samples is not None:
+            return _exact_quantile(sorted(self.samples), q)
         target = q * self.count
         seen = 0
         for i, c in enumerate(self.bucket_counts):
@@ -165,6 +211,66 @@ class Histogram:
                 return min(max(lo + (hi - lo) * frac, self.min), self.max)
             seen += c
         return self.max  # pragma: no cover - defensive
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (identical bounds required).
+
+        Bucket counts, count, sum and the min/max extremes combine
+        exactly.  Exact-quantile samples survive as long as the merged
+        count stays below the cutoff; otherwise the merged histogram
+        degrades to bucket interpolation, the same as if it had seen
+        every observation directly.  Returns ``self`` for chaining.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        if (
+            self.samples is not None
+            and other.samples is not None
+            and self.count <= EXACT_QUANTILE_SAMPLES
+        ):
+            self.samples.extend(other.samples)
+        else:
+            self.samples = None
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able state for cross-process transport; see :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "samples": list(self.samples) if self.samples is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram serialized by :meth:`to_dict`."""
+        hist = cls(data["name"], dict(data.get("labels") or {}),
+                   buckets=tuple(data["bounds"]))
+        hist.bucket_counts = list(data["bucket_counts"])
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        hist.min = float("inf") if data.get("min") is None else float(data["min"])
+        hist.max = float("-inf") if data.get("max") is None else float(data["max"])
+        samples = data.get("samples")
+        hist.samples = None if samples is None else [float(v) for v in samples]
+        return hist
 
     def snapshot(self) -> dict[str, Any]:
         return {

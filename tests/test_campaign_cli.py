@@ -1,0 +1,137 @@
+"""Tests for the ``repro-xd1 campaign`` CLI family."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(tmp_path, name, *extra):
+    out = tmp_path / name
+    rc = main(
+        [
+            "campaign", "run", "--apps", "lu", "--replicates", "4",
+            "--seed", "7", "--cache", "off", "--out", str(out), *extra,
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+def test_campaign_run_writes_manifest_and_summary(tmp_path, capsys):
+    path = _run(tmp_path, "c.json")
+    out = capsys.readouterr().out
+    assert "campaign: preset=xd1 replicates=4" in out
+    assert "lu@xd1/nominal" in out
+    manifest = json.loads(path.read_text())
+    assert manifest["kind"] == "campaign"
+    assert manifest["points"] == 4
+    assert len(manifest["cells"]["lu@xd1/nominal"]["makespan"]["samples"]) == 4
+
+
+def test_campaign_run_seed_env_equals_flag(tmp_path, monkeypatch, capsys):
+    flagged = _run(tmp_path, "flag.json")
+    monkeypatch.setenv("REPRO_SEED", "7")
+    env_out = tmp_path / "env.json"
+    rc = main(
+        [
+            "campaign", "run", "--apps", "lu", "--replicates", "4",
+            "--cache", "off", "--out", str(env_out),
+        ]
+    )
+    assert rc == 0
+    assert flagged.read_text() == env_out.read_text()  # bitwise identical
+
+
+def test_campaign_run_appends_ledger_entry(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    _run(tmp_path, "c.json", "--ledger", str(ledger))
+    from repro.obs import RunLedger
+
+    (entry,) = RunLedger(ledger).entries(kind="campaign")
+    assert entry["schema"] == 4
+    assert entry["replicates"] == 4
+
+
+def test_campaign_run_rejects_unknown_scenario(capsys):
+    rc = main(["campaign", "run", "--scenarios", "meteor-strike", "--cache", "off"])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().out
+
+
+def test_campaign_run_rejects_bad_seed(capsys):
+    rc = main(["campaign", "run", "--seed", "lucky", "--cache", "off"])
+    assert rc == 2
+    assert "invalid seed" in capsys.readouterr().out
+
+
+def test_campaign_report_from_manifest_and_ledger(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    path = _run(tmp_path, "c.json", "--ledger", str(ledger))
+    capsys.readouterr()
+    assert main(["campaign", "report", "--manifest", str(path)]) == 0
+    from_file = capsys.readouterr().out
+    assert "lu@xd1/nominal" in from_file
+    assert main(["campaign", "report", "--ledger", str(ledger)]) == 0
+    assert "lu@xd1/nominal" in capsys.readouterr().out
+    assert main(["campaign", "report"]) == 2  # neither source given
+
+
+def test_campaign_check_self_passes_and_throttle_fails(tmp_path, capsys):
+    base = _run(tmp_path, "base.json")
+    # identical re-run: zero flagged cells, exit 0
+    assert (
+        main(["campaign", "check", "--baseline", str(base), "--manifest", str(base)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "verdict=pass" in out and "flagged=0" in out
+    # -20% FPGA clock: statistically significant regression, exit 1
+    slow = _run(tmp_path, "slow.json", "--throttle-fpga", "0.8")
+    capsys.readouterr()
+    ledger = tmp_path / "ledger.jsonl"
+    rc = main(
+        [
+            "campaign", "check", "--baseline", str(base),
+            "--manifest", str(slow), "--ledger", str(ledger),
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "verdict=fail" in out
+    assert "[FAIL] lu@xd1/nominal" in out
+    from repro.obs import RunLedger
+
+    (entry,) = RunLedger(ledger).entries(kind="campaign_check")
+    assert entry["verdict"] == "fail"
+    assert entry["flagged"] == ["lu@xd1/nominal"]
+
+
+def test_campaign_check_missing_manifest_exits_2(tmp_path, capsys):
+    rc = main(
+        [
+            "campaign", "check",
+            "--baseline", str(tmp_path / "nope.json"),
+            "--manifest", str(tmp_path / "nope.json"),
+        ]
+    )
+    assert rc == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_campaign_check_json_output(tmp_path, capsys):
+    base = _run(tmp_path, "b.json")
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "campaign", "check", "--baseline", str(base),
+                "--manifest", str(base), "--json",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "campaign_check"
+    assert doc["verdict"] == "pass"

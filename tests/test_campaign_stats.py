@@ -1,0 +1,171 @@
+"""Tests for the campaign regression statistics (repro.campaign.stats)."""
+
+import pytest
+
+from repro.campaign.stats import (
+    compare_campaigns,
+    compare_cells,
+    mann_whitney_u,
+)
+
+
+def _cell(samples, median=None):
+    if median is None and samples:
+        ordered = sorted(samples)
+        n = len(ordered)
+        median = (
+            ordered[n // 2]
+            if n % 2
+            else (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+        )
+    return {"makespan": {"samples": list(samples), "median": median}}
+
+
+def _manifest(cells):
+    return {"kind": "campaign", "preset": "xd1", "cells": cells}
+
+
+# ---------------------------------------------------------- mann_whitney_u
+
+
+def test_all_tied_samples_give_p_one():
+    u, p = mann_whitney_u([5.0] * 10, [5.0] * 10)
+    assert p == 1.0
+
+
+def test_disjoint_samples_are_significant():
+    xs = [float(i) for i in range(20)]
+    ys = [float(i) + 100 for i in range(20)]
+    u, p = mann_whitney_u(xs, ys)
+    assert u == 0.0  # no x exceeds any y
+    assert p < 1e-6
+
+
+def test_u_statistics_are_complementary():
+    xs = [1.0, 3.0, 5.0, 7.0]
+    ys = [2.0, 4.0, 6.0, 8.0]
+    u1, _ = mann_whitney_u(xs, ys)
+    u2, _ = mann_whitney_u(ys, xs)
+    assert u1 + u2 == len(xs) * len(ys)
+
+
+def test_small_disjoint_case_matches_hand_computation():
+    # xs=[1,2], ys=[3,4]: U1=0, mu=2, sigma^2=4*5/12
+    u, p = mann_whitney_u([1.0, 2.0], [3.0, 4.0])
+    assert u == 0.0
+    assert p == pytest.approx(0.2453, abs=1e-3)
+
+
+def test_empty_samples_rejected():
+    with pytest.raises(ValueError):
+        mann_whitney_u([], [1.0])
+
+
+def test_identical_distributions_not_significant():
+    xs = [1.0, 2.0, 3.0, 4.0, 5.0] * 4
+    u, p = mann_whitney_u(xs, list(xs))
+    assert p == 1.0
+
+
+# ------------------------------------------------------------ compare_cells
+
+
+def _shifted(n, base=100.0, step=0.1, factor=1.0):
+    return [(base + i * step) * factor for i in range(n)]
+
+
+def test_identical_cells_pass():
+    cell = _cell(_shifted(20))
+    out = compare_cells(cell, _cell(_shifted(20)))
+    assert out["verdict"] == "pass"
+    assert out["p_value"] == 1.0
+    assert out["median_shift"] == 0.0
+
+
+def test_significant_slowdown_fails():
+    out = compare_cells(_cell(_shifted(20)), _cell(_shifted(20, factor=1.2)))
+    assert out["verdict"] == "fail"
+    assert out["significant"] is True
+    assert out["median_shift"] == pytest.approx(0.2, rel=1e-6)
+
+
+def test_significant_improvement_warns():
+    out = compare_cells(_cell(_shifted(20)), _cell(_shifted(20, factor=0.8)))
+    assert out["verdict"] == "warn"
+    assert "improvement" in out["note"]
+
+
+def test_significant_but_tiny_shift_warns():
+    # +1% shift, well-separated distributions, 0.02 effect floor
+    out = compare_cells(
+        _cell(_shifted(30, step=0.001)),
+        _cell(_shifted(30, step=0.001, factor=1.01)),
+    )
+    assert out["significant"] is True
+    assert out["verdict"] == "warn"
+    assert "below the effect threshold" in out["note"]
+
+
+def test_large_insignificant_shift_warns_about_power():
+    out = compare_cells(_cell([100.0, 101.0]), _cell([120.0, 121.0]))
+    assert out["verdict"] == "warn"
+    assert "not significantly" in out["note"]
+
+
+def test_insufficient_replicates_warn():
+    out = compare_cells(_cell([100.0]), _cell([100.0]))
+    assert out["verdict"] == "warn"
+    assert "insufficient" in out["note"]
+    assert out["p_value"] is None
+
+
+# -------------------------------------------------------- compare_campaigns
+
+
+def test_compare_campaigns_flags_and_verdict():
+    base = _manifest(
+        {
+            "lu@xd1/nominal": _cell(_shifted(20)),
+            "fw@xd1/nominal": _cell(_shifted(20, base=1000.0)),
+        }
+    )
+    slow = _manifest(
+        {
+            "lu@xd1/nominal": _cell(_shifted(20, factor=1.25)),
+            "fw@xd1/nominal": _cell(_shifted(20, base=1000.0)),
+        }
+    )
+    out = compare_campaigns(base, slow)
+    assert out["kind"] == "campaign_check"
+    assert out["verdict"] == "fail"
+    assert out["flagged"] == ["lu@xd1/nominal"]
+    assert out["cells"]["fw@xd1/nominal"]["verdict"] == "pass"
+
+
+def test_compare_campaigns_identical_is_all_pass():
+    m = _manifest({"lu@xd1/nominal": _cell(_shifted(10))})
+    out = compare_campaigns(m, m)
+    assert out["verdict"] == "pass"
+    assert out["flagged"] == []
+
+
+def test_compare_campaigns_missing_cells_warn():
+    base = _manifest(
+        {"lu@xd1/nominal": _cell(_shifted(10)), "fw@xd1/nominal": _cell(_shifted(10))}
+    )
+    cur = _manifest(
+        {"lu@xd1/nominal": _cell(_shifted(10)), "mm@xd1/nominal": _cell(_shifted(10))}
+    )
+    out = compare_campaigns(base, cur)
+    assert out["verdict"] == "warn"
+    assert out["missing"]["baseline_only"] == ["fw@xd1/nominal"]
+    assert out["missing"]["current_only"] == ["mm@xd1/nominal"]
+
+
+def test_compare_campaigns_custom_thresholds():
+    base = _manifest({"lu@xd1/nominal": _cell(_shifted(20))})
+    cur = _manifest({"lu@xd1/nominal": _cell(_shifted(20, factor=1.05))})
+    strict = compare_campaigns(base, cur, effect_threshold=0.02)
+    lax = compare_campaigns(base, cur, effect_threshold=0.10)
+    assert strict["verdict"] == "fail"
+    assert lax["verdict"] == "warn"  # significant but below the 10% floor

@@ -128,3 +128,87 @@ def test_render_html_resilience_table():
     newer = _fault_entry(retention=0.5, seq=12)
     html2 = render_html(entries + [newer], band=0.85)
     assert "50.0%" in html2 and "98.5%" not in html2
+
+
+# ------------------------------------------------------------- campaigns
+
+
+def _campaign_entry(seq=20, preset="xd1", median=100.0, samples=None):
+    samples = samples if samples is not None else [99.0, 100.0, 101.0]
+    return {
+        "kind": "campaign",
+        "schema": 4,
+        "seq": seq,
+        "preset": preset,
+        "replicates": len(samples),
+        "failures": 0,
+        "cells": {
+            f"lu@{preset}/nominal": {
+                "app": "lu",
+                "preset": preset,
+                "replicates": len(samples),
+                "completed": len(samples),
+                "failures": 0,
+                "makespan": {
+                    "samples": samples,
+                    "median": median,
+                    "iqr": 1.0,
+                    "p95": max(samples),
+                    "p99": max(samples),
+                },
+                "efficiency": {"median": 1.1},
+            }
+        },
+    }
+
+
+def _check_entry(seq=30, verdict="fail"):
+    return {
+        "kind": "campaign_check",
+        "schema": 4,
+        "seq": seq,
+        "verdict": verdict,
+        "alpha": 0.05,
+        "effect_threshold": 0.02,
+        "flagged": ["lu@xd1/nominal"] if verdict == "fail" else [],
+        "cells": {
+            "lu@xd1/nominal": {
+                "verdict": verdict,
+                "p_value": 0.002,
+                "median_shift": 0.21 if verdict == "fail" else 0.0,
+                "note": "significant slowdown (+21.0% median)" if verdict == "fail" else None,
+            }
+        },
+    }
+
+
+def test_render_ascii_campaign_panel_with_drift():
+    older = _campaign_entry(seq=20, median=100.0)
+    newer = _campaign_entry(seq=21, median=121.0, samples=[120.0, 121.0, 122.0])
+    out = render_ascii([older, newer], band=0.85)
+    assert "campaigns (per-cell makespan distributions" in out
+    assert "lu@xd1/nominal" in out
+    assert "median 121s" in out  # the latest campaign wins
+    assert "drift ^+21.0%" in out  # vs the previous campaign
+
+
+def test_render_ascii_campaign_check_section():
+    out = render_ascii([_campaign_entry(), _check_entry()], band=0.85)
+    assert "campaign regression check (latest): verdict fail" in out
+    assert "[FAIL] lu@xd1/nominal  shift +21.00%  p 0.002" in out
+
+
+def test_render_ascii_without_campaigns_has_no_campaign_section():
+    out = render_ascii([_entry(efficiency=0.95)], band=0.85)
+    assert "campaign" not in out
+
+
+def test_render_html_campaign_tables():
+    older = _campaign_entry(seq=20, median=100.0)
+    newer = _campaign_entry(seq=21, median=121.0, samples=[120.0, 121.0, 122.0])
+    html = render_html([older, newer, _check_entry(seq=30)], band=0.85)
+    assert "Campaign distributions (xd1)" in html
+    assert "Campaign regression check" in html
+    assert "+21.0%" in html  # drift arrow against the previous campaign
+    assert "fail" in html
+    assert "<svg" in html  # sample sparkline rendered

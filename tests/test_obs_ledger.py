@@ -44,7 +44,7 @@ def test_append_assigns_schema_seq_ts(tmp_path):
     ledger = RunLedger(tmp_path / "ledger.jsonl")
     first = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
     second = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
-    assert first["schema"] == LEDGER_SCHEMA == 3
+    assert first["schema"] == LEDGER_SCHEMA == 4
     assert (first["seq"], second["seq"]) == (1, 2)
     assert first["ts"].endswith("Z")
     # seq survives a fresh RunLedger over the same file
@@ -238,7 +238,7 @@ def test_fault_run_entry_builds_schema3_manifest(tmp_path):
     assert entry["note"] == "campaign 1"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 3
+    assert appended["schema"] == LEDGER_SCHEMA == 4
     (back,) = ledger.entries(kind="fault_run")
     assert back["attribution"]["term"] == "t_comm"
 
@@ -253,26 +253,123 @@ def test_fault_run_entry_validates_required_fields():
 
 
 def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
-    """Schema-2 entries written by older code still list and diff."""
+    """Schema-2 and schema-3 entries written by older code still load,
+    list, resolve and diff after the schema-4 (campaign) bump."""
     from repro.obs import fault_run_entry, render_diff
 
     path = tmp_path / "l.jsonl"
-    old = {
+    schema2 = {
         "kind": "design_run", "app": "lu", "preset": "xd1", "schema": 2,
         "seq": 1, "ts": "2026-01-01T00:00:00Z", "git_sha": "old",
         "params": {"n": 30000}, "partition": {"b_p": 1920, "b_f": 1080},
         "predicted": {"latency": 10.0},
         "measured": {"makespan": 9.0, "overlap_efficiency": 1.1},
     }
-    path.write_text(json.dumps(old, sort_keys=True) + "\n", encoding="utf-8")
+    schema3 = dict(
+        fault_run_entry(_fault_result(), git_sha="mid"),
+        schema=3, seq=2, ts="2026-02-01T00:00:00Z",
+    )
+    path.write_text(
+        json.dumps(schema2, sort_keys=True) + "\n"
+        + json.dumps(schema3, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
     ledger = RunLedger(path)
     new = ledger.append(fault_run_entry(_fault_result(), git_sha="new"))
     entries = ledger.entries()
-    assert [e["schema"] for e in entries] == [2, 3]
-    assert new["seq"] == 2  # seq continues across the schema bump
+    assert [e["schema"] for e in entries] == [2, 3, 4]
+    assert new["seq"] == 3  # seq continues across the schema bump
     assert render_diff(entries[0], entries[1])  # mixed-kind diff renders
+    assert render_diff(entries[1], entries[2])  # schema 3 vs 4 diff renders
     assert ledger.entries(kind="design_run") == [entries[0]]
-    assert ledger.entries(kind="fault_run") == [entries[1]]
+    assert ledger.entries(kind="fault_run") == entries[1:]
+    assert ledger.resolve(1)["schema"] == 2
+    assert ledger.resolve("latest")["schema"] == 4
+
+
+# ------------------------------------------------- schema 4 / campaigns
+
+
+def _campaign_manifest():
+    """A minimal run_campaign()-shaped manifest."""
+    return {
+        "kind": "campaign",
+        "manifest_schema": 1,
+        "preset": "xd1",
+        "spec": {"apps": ["lu"], "preset": "xd1", "replicates": 3, "seed": 0},
+        "replicates": 3,
+        "points": 3,
+        "failures": 0,
+        "cells": {
+            "lu@xd1/nominal": {
+                "app": "lu",
+                "preset": "xd1",
+                "replicates": 3,
+                "completed": 3,
+                "failures": 0,
+                "makespan": {"samples": [9.9, 10.0, 10.1], "median": 10.0},
+                "efficiency": {"samples": [1.1, 1.1, 1.1], "median": 1.1},
+            }
+        },
+    }
+
+
+def test_campaign_entry_builds_schema4_manifest(tmp_path):
+    from repro.obs import campaign_entry
+
+    entry = campaign_entry(_campaign_manifest(), git_sha="abc", note="nightly")
+    assert entry["kind"] == "campaign"
+    assert entry["app"] == "campaign"
+    assert entry["preset"] == "xd1"
+    assert entry["manifest_schema"] == 1
+    assert entry["replicates"] == 3
+    assert entry["cells"]["lu@xd1/nominal"]["makespan"]["median"] == 10.0
+    assert entry["note"] == "nightly"
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    appended = ledger.append(entry)
+    assert appended["schema"] == LEDGER_SCHEMA == 4
+    (back,) = ledger.entries(kind="campaign")
+    assert back["cells"] == entry["cells"]
+
+
+def test_campaign_entry_validates_manifest():
+    from repro.obs import campaign_entry
+
+    with pytest.raises(LedgerError, match="not a campaign manifest"):
+        campaign_entry({"kind": "design_run"})
+    with pytest.raises(LedgerError, match="missing 'cells'"):
+        campaign_entry({"kind": "campaign", "spec": {}})
+
+
+def test_campaign_check_entry_roundtrips(tmp_path):
+    from repro.obs import campaign_check_entry
+
+    comparison = {
+        "kind": "campaign_check",
+        "preset": "xd1",
+        "alpha": 0.05,
+        "effect_threshold": 0.02,
+        "verdict": "fail",
+        "flagged": ["lu@xd1/nominal"],
+        "cells": {
+            "lu@xd1/nominal": {
+                "verdict": "fail", "p_value": 0.002, "median_shift": 0.21,
+            }
+        },
+    }
+    entry = campaign_check_entry(comparison, git_sha="abc")
+    assert entry["kind"] == "campaign_check"
+    assert entry["verdict"] == "fail"
+    assert entry["flagged"] == ["lu@xd1/nominal"]
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    ledger.append(entry)
+    (back,) = ledger.entries(kind="campaign_check")
+    assert back["cells"]["lu@xd1/nominal"]["p_value"] == 0.002
+
+    with pytest.raises(LedgerError, match="not a campaign comparison"):
+        campaign_check_entry({"kind": "campaign", "cells": {}})
+    with pytest.raises(LedgerError, match="missing 'cells'"):
+        campaign_check_entry({"kind": "campaign_check"})
 
 
 def test_ledger_ts_env_override(tmp_path, monkeypatch):
