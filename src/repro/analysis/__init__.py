@@ -8,7 +8,7 @@ from .export import (
     series_to_csv,
     series_to_json,
 )
-from .figures import bar_chart, line_chart
+from .figures import bar_chart, box_plot, line_chart
 from .report import comparison_row, percent, table
 from .scaling import (
     ScalingPoint,
@@ -25,6 +25,7 @@ __all__ = [
     "Series",
     "analyse_trace",
     "bar_chart",
+    "box_plot",
     "comparison_row",
     "line_chart",
     "percent",

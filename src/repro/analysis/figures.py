@@ -11,7 +11,7 @@ from typing import Iterable, Optional, Sequence
 
 from .series import Series
 
-__all__ = ["line_chart", "bar_chart"]
+__all__ = ["line_chart", "bar_chart", "box_plot"]
 
 
 def _fmt(value: float) -> str:
@@ -84,4 +84,57 @@ def bar_chart(
     for lab, val in zip(labels, values):
         bar = "#" * max(1, int(val / vmax * width)) if val > 0 else ""
         lines.append(f"{lab:>{label_w}} |{bar:<{width}} {_fmt(val)}{unit}")
+    return "\n".join(lines)
+
+
+def box_plot(
+    labels: Sequence[str],
+    stats: Sequence[dict],
+    title: str,
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """Render five-number summaries as aligned ASCII box-and-whisker rows.
+
+    ``stats[i]`` summarises ``labels[i]`` with ``min`` / ``q25`` /
+    ``median`` / ``q75`` / ``max`` keys (the campaign manifest's
+    distribution block).  All rows share one scale, so per-cell spreads
+    are visually comparable -- the campaign distribution figure.
+    """
+    if len(labels) != len(stats):
+        raise ValueError("labels and stats must have equal length")
+    rows = [
+        (str(lab), s) for lab, s in zip(labels, stats)
+        if s and s.get("median") is not None
+    ]
+    if not rows:
+        return f"{title}\n(no data)"
+    lo = min(float(s["min"]) for _, s in rows)
+    hi = max(float(s["max"]) for _, s in rows)
+    span = hi - lo if hi > lo else 1.0
+    label_w = max(len(lab) for lab, _ in rows)
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, int((float(v) - lo) / span * (width - 1))))
+
+    lines = [title]
+    for lab, s in rows:
+        cells = [" "] * width
+        w_lo, w_hi = col(s["min"]), col(s["max"])
+        b_lo, b_hi = col(s["q25"]), col(s["q75"])
+        for x in range(w_lo, w_hi + 1):
+            cells[x] = "-"
+        for x in range(b_lo, b_hi + 1):
+            cells[x] = "="
+        cells[b_lo] = "["
+        cells[b_hi] = "]"
+        cells[col(s["median"])] = "M"
+        summary = (
+            f"{_fmt(float(s['median']))}{unit} "
+            f"[{_fmt(float(s['q25']))}..{_fmt(float(s['q75']))}]"
+        )
+        lines.append(f"{lab:>{label_w}} |{''.join(cells)}| {summary}")
+    lines.append(
+        f"{'':>{label_w}}  {_fmt(lo)}{'':{max(1, width - len(_fmt(lo)) - len(_fmt(hi)))}}{_fmt(hi)}{unit}"
+    )
     return "\n".join(lines)

@@ -21,10 +21,14 @@ Layers:
   per-cell aggregation into the campaign manifest;
 * :mod:`repro.campaign.stats` -- Mann-Whitney U comparison and
   pass/warn/fail verdicts per cell;
-* :mod:`repro.campaign.report` -- terminal rendering.
+* :mod:`repro.campaign.explain` -- root-cause explanation of flagged
+  cells: paired traced re-runs diffed into blame-ranked ``explain``
+  manifests (which lane grew, which model term it loads onto);
+* :mod:`repro.campaign.report` -- terminal rendering, including the
+  per-cell box-plot / timeline figures.
 
-CLI: ``repro campaign run | report | check``.  Docs:
-``docs/observability.md`` ("Campaigns").
+CLI: ``repro campaign run | report | check | figures``.  Docs:
+``docs/observability.md`` ("Campaigns", "Explaining regressions").
 """
 
 from .core import (
@@ -37,12 +41,20 @@ from .core import (
     run_campaign,
     write_manifest,
 )
+from .explain import (
+    explain_cell,
+    explain_comparison,
+    pick_replicate,
+    replicate_task,
+    run_traced,
+)
 from .perturb import PerturbationModel, default_model
-from .report import render_check, render_manifest
+from .report import render_check, render_figures, render_manifest, render_timeline
 from .runner import (
     CAMPAIGN_BUCKETS,
     DesignRunner,
     ReplicateRunner,
+    build_design,
     register_runner,
     resolve_runner,
     run_replicate,
@@ -66,21 +78,29 @@ __all__ = [
     "PerturbationModel",
     "ReplicateRunner",
     "SEED_ENV_VAR",
+    "build_design",
     "campaign_tasks",
     "cell_key",
     "compare_campaigns",
     "compare_cells",
     "default_model",
     "derive_seed",
+    "explain_cell",
+    "explain_comparison",
     "iter_cells",
     "load_manifest",
     "mann_whitney_u",
+    "pick_replicate",
     "register_runner",
     "render_check",
+    "render_figures",
     "render_manifest",
+    "render_timeline",
+    "replicate_task",
     "resolve_runner",
     "resolve_seed",
     "run_campaign",
     "run_replicate",
+    "run_traced",
     "write_manifest",
 ]

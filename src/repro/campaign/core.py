@@ -59,6 +59,13 @@ class CampaignSpec:
 
     apps: tuple[str, ...] = ("lu", "fw")
     preset: str = "xd1"
+    #: Optional multi-preset grid; empty means "just :attr:`preset`".
+    #: Each app x scenario pair is evaluated once per preset, with its
+    #: own cell key (``app@preset/scenario``) and sub-seed stream.  Not
+    #: every app runs on every preset (LU needs p >= 2 nodes, FW's
+    #: block size must divide its tile) -- callers pick compatible
+    #: combinations, the design constructors fail fast otherwise.
+    presets: tuple[str, ...] = ()
     scenarios: tuple[FaultScenario, ...] = (FaultScenario(name="nominal"),)
     replicates: int = 20
     seed: int = 0
@@ -80,6 +87,14 @@ class CampaignSpec:
             raise ValueError(
                 f"throttle_fpga must be in (0, 1], got {self.throttle_fpga}"
             )
+        if len(set(self.presets)) != len(self.presets):
+            raise ValueError(f"duplicate presets: {self.presets}")
+
+    @property
+    def effective_presets(self) -> tuple[str, ...]:
+        """The preset grid actually enumerated (``presets`` or the single
+        ``preset``)."""
+        return self.presets or (self.preset,)
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -90,6 +105,8 @@ class CampaignSpec:
             "seed": self.seed,
             "perturb": self.perturb.to_dict(),
         }
+        if self.presets:
+            data["presets"] = list(self.presets)
         if self.sizes:
             data["sizes"] = {app: list(nb) for app, nb in sorted(self.sizes.items())}
         if self.throttle_fpga is not None:
@@ -102,6 +119,7 @@ class CampaignSpec:
         return cls(
             apps=tuple(data.get("apps", ("lu", "fw"))),
             preset=data.get("preset", "xd1"),
+            presets=tuple(data.get("presets", ())),
             scenarios=tuple(
                 FaultScenario.from_dict(s) for s in data.get("scenarios", [{}])
             ),
@@ -147,25 +165,26 @@ def campaign_tasks(spec: CampaignSpec) -> list[dict[str, Any]]:
     tasks: list[dict[str, Any]] = []
     for app in spec.apps:
         resolve_runner(app)  # fail fast on unknown apps
-        for scenario in spec.scenarios:
-            base = _with_throttle(scenario, spec.throttle_fpga)
-            key = cell_key(app, spec.preset, scenario.name)
-            for replicate in range(spec.replicates):
-                sub_seed = derive_seed(spec.seed, key, replicate)
-                concrete = spec.perturb.sample(sub_seed, base=base)
-                task: dict[str, Any] = {
-                    "kind": "campaign_replicate",
-                    "app": app,
-                    "preset": spec.preset,
-                    "cell": key,
-                    "scenario_name": scenario.name or "nominal",
-                    "replicate": replicate,
-                    "seed": sub_seed,
-                    "scenario": concrete.to_dict(),
-                }
-                if spec.sizes and app in spec.sizes:
-                    task["n"], task["b"] = spec.sizes[app]
-                tasks.append(task)
+        for preset in spec.effective_presets:
+            for scenario in spec.scenarios:
+                base = _with_throttle(scenario, spec.throttle_fpga)
+                key = cell_key(app, preset, scenario.name)
+                for replicate in range(spec.replicates):
+                    sub_seed = derive_seed(spec.seed, key, replicate)
+                    concrete = spec.perturb.sample(sub_seed, base=base)
+                    task: dict[str, Any] = {
+                        "kind": "campaign_replicate",
+                        "app": app,
+                        "preset": preset,
+                        "cell": key,
+                        "scenario_name": scenario.name or "nominal",
+                        "replicate": replicate,
+                        "seed": sub_seed,
+                        "scenario": concrete.to_dict(),
+                    }
+                    if spec.sizes and app in spec.sizes:
+                        task["n"], task["b"] = spec.sizes[app]
+                    tasks.append(task)
     return tasks
 
 
@@ -221,6 +240,7 @@ def _distribution(samples: list[float], hist: Optional[Histogram]) -> dict[str, 
 
 def _aggregate_cell(
     app: str,
+    preset: str,
     spec: CampaignSpec,
     scenario: FaultScenario,
     results: list[dict[str, Any]],
@@ -235,7 +255,7 @@ def _aggregate_cell(
         merged = h if merged is None else merged.merge(h)
     cell: dict[str, Any] = {
         "app": app,
-        "preset": spec.preset,
+        "preset": preset,
         "scenario": _with_throttle(scenario, spec.throttle_fpga).to_dict(),
         "replicates": len(results),
         "completed": len(ok),
@@ -256,6 +276,7 @@ def run_campaign(
     *,
     jobs: Any = None,
     cache: Any = None,
+    telemetry: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Run the campaign; returns the aggregated manifest.
 
@@ -266,6 +287,14 @@ def run_campaign(
     regardless of worker scheduling, so the manifest -- and any ledger
     entry written from it -- is bitwise identical across serial and
     parallel runs of the same spec.
+
+    ``telemetry``, when a dict, is filled in place with run-health
+    wall-clock data -- the executor's per-worker spans / queue waits /
+    straggler flags (:attr:`~repro.parallel.SweepExecutor.last_telemetry`)
+    and the cache hit statistics.  It is kept *out* of the returned
+    manifest on purpose: manifests are deterministic documents, compared
+    bitwise in CI; telemetry goes to the ledger's ``workers`` block and
+    the dashboard instead.
     """
     tasks = campaign_tasks(spec)
     if cache is None:
@@ -294,22 +323,31 @@ def run_campaign(
                 cache.put(tasks[i], value)
                 results[i] = value
 
+    if telemetry is not None:
+        telemetry["executor"] = dict(executor.last_telemetry)
+        if cache is not None:
+            telemetry["cache"] = dict(cache.stats)
+            telemetry["cache_hit_rate"] = cache.hit_rate
+
     # Fold task-ordered results back into cells (same nesting order as
-    # campaign_tasks: app -> scenario -> replicate).
+    # campaign_tasks: app -> preset -> scenario -> replicate).
     cells: dict[str, dict[str, Any]] = {}
     cursor = 0
     failures = 0
     for app in spec.apps:
-        for scenario in spec.scenarios:
-            chunk = results[cursor : cursor + spec.replicates]
-            cursor += spec.replicates
-            cell = _aggregate_cell(app, spec, scenario, chunk)
-            cells[cell_key(app, spec.preset, scenario.name)] = cell
-            failures += cell["failures"]
+        for preset in spec.effective_presets:
+            for scenario in spec.scenarios:
+                chunk = results[cursor : cursor + spec.replicates]
+                cursor += spec.replicates
+                cell = _aggregate_cell(app, preset, spec, scenario, chunk)
+                cells[cell_key(app, preset, scenario.name)] = cell
+                failures += cell["failures"]
+                REGISTRY.counter("campaign.replicates", preset=preset).inc(
+                    spec.replicates
+                )
+                REGISTRY.counter("campaign.cells", preset=preset).inc()
 
-    REGISTRY.counter("campaign.replicates", preset=spec.preset).inc(len(tasks))
-    REGISTRY.counter("campaign.cells", preset=spec.preset).inc(len(cells))
-    return {
+    manifest: dict[str, Any] = {
         "kind": "campaign",
         "manifest_schema": MANIFEST_SCHEMA,
         "preset": spec.preset,
@@ -319,6 +357,9 @@ def run_campaign(
         "failures": failures,
         "cells": cells,
     }
+    if spec.presets:
+        manifest["presets"] = list(spec.presets)
+    return manifest
 
 
 def write_manifest(manifest: dict[str, Any], path: str) -> None:

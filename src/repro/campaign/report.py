@@ -7,11 +7,19 @@ persistent dashboards (ASCII and HTML, fed from the run ledger) live in
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
+from ..analysis.figures import box_plot, line_chart
+from ..analysis.series import Series
 from .core import iter_cells
 
-__all__ = ["render_manifest", "render_check", "sparkline"]
+__all__ = [
+    "render_manifest",
+    "render_check",
+    "render_figures",
+    "render_timeline",
+    "sparkline",
+]
 
 _SPARK_LEVELS = " .:-=+*#@"
 
@@ -128,3 +136,48 @@ def render_check(comparison: dict[str, Any]) -> str:
         for key in missing.get(side, []):
             lines.append(f"  [WARN] {key}  ({side.replace('_', ' ')})")
     return "\n".join(lines)
+
+
+def render_figures(manifest: dict[str, Any], width: int = 46) -> str:
+    """The campaign's distribution figure: one box-whisker row per cell.
+
+    All cells share one scale, so the figure answers "which cells are
+    slow, and which are *spread out*" at a glance; the exact numbers
+    stay in :func:`render_manifest`'s table.
+    """
+    labels, stats = [], []
+    for key, cell in iter_cells(manifest):
+        labels.append(key)
+        stats.append(cell.get("makespan") or {})
+    return box_plot(
+        labels,
+        stats,
+        "campaign makespan distributions (per cell, min [q25 M q75] max)",
+        width=width,
+        unit="s",
+    )
+
+
+def render_timeline(entries: Iterable[dict[str, Any]]) -> str:
+    """Median-makespan trend per cell over successive campaign runs.
+
+    ``entries`` are campaign manifests (or ledger ``campaign`` entries),
+    oldest first -- typically every ``campaign`` entry of a ledger.  The
+    x axis is the run index, so the figure stays deterministic for
+    pinned-timestamp ledgers.
+    """
+    curves: dict[str, Series] = {}
+    for i, entry in enumerate(entries):
+        for key, cell in iter_cells(entry):
+            median = (cell.get("makespan") or {}).get("median")
+            if median is None:
+                continue
+            curves.setdefault(key, Series(label=key)).append(float(i), float(median))
+    if not curves:
+        return "campaign makespan timeline\n(no data)"
+    return line_chart(
+        [curves[k] for k in sorted(curves)],
+        "campaign makespan timeline (median per campaign run)",
+        y_label="makespan s",
+        x_label="campaign run index",
+    )

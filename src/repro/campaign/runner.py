@@ -31,6 +31,7 @@ __all__ = [
     "ReplicateRunner",
     "DesignRunner",
     "RUNNERS",
+    "build_design",
     "register_runner",
     "resolve_runner",
     "run_replicate",
@@ -67,6 +68,37 @@ def _makespan_hist(makespan: float) -> dict[str, Any]:
     return hist.to_dict()
 
 
+def build_design(
+    app: str, preset: str = "xd1", n: Any = None, b: Any = None
+):
+    """The app's design object on a machine preset (sizes defaulted).
+
+    The shared construction path of :class:`DesignRunner` and the
+    traced re-runs in :mod:`repro.campaign.explain`, so an explanation
+    re-simulates exactly the design the campaign replicate ran.
+    """
+    try:
+        spec = ALL_PRESETS[preset]()
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r}; available: {sorted(ALL_PRESETS)}"
+        ) from None
+    if app not in DEFAULT_SIZES:
+        raise ValueError(f"no design builder for app {app!r}")
+    default_n, default_b = DEFAULT_SIZES[app]
+    n = int(n or default_n)
+    b = int(b or default_b)
+    if app == "lu":
+        from ..apps.lu.design import LuDesign
+
+        return LuDesign(spec, n, b)
+    if app == "fw":
+        from ..apps.fw.design import FwDesign
+
+        return FwDesign(spec, n, b)
+    raise ValueError(f"no design builder for app {app!r}")
+
+
 class DesignRunner:
     """The built-in runner for the paper's LU and FW designs.
 
@@ -81,25 +113,10 @@ class DesignRunner:
 
     def run(self, task: dict[str, Any]) -> dict[str, Any]:
         app = task["app"]
-        preset = task.get("preset", "xd1")
-        try:
-            spec = ALL_PRESETS[preset]()
-        except KeyError:
-            raise ValueError(
-                f"unknown preset {preset!r}; available: {sorted(ALL_PRESETS)}"
-            ) from None
-        default_n, default_b = DEFAULT_SIZES[app]
-        n = int(task.get("n") or default_n)
-        b = int(task.get("b") or default_b)
+        design = build_design(
+            app, task.get("preset", "xd1"), task.get("n"), task.get("b")
+        )
         scenario = FaultScenario.from_dict(task["scenario"])
-        if app == "lu":
-            from ..apps.lu.design import LuDesign
-
-            design = LuDesign(spec, n, b)
-        else:
-            from ..apps.fw.design import FwDesign
-
-            design = FwDesign(spec, n, b)
         injector = FaultInjector(scenario) if scenario.has_faults else None
         registry = MetricsRegistry()  # keep replicate gauges off the global registry
         try:

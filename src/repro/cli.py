@@ -21,6 +21,7 @@ The observatory commands sit under ``repro-xd1 obs``::
     obs ledger record --metrics m.jsonl --trace t.json --ledger L
     obs ledger list|diff|check --ledger L
     obs dashboard --ledger L [--html dashboard.html]
+    obs explain --baseline base.json --manifest cur.json [--cell KEY]
 
 Fault injection and graceful degradation under ``repro-xd1 faults``::
 
@@ -32,7 +33,8 @@ Replicated statistical campaigns under ``repro-xd1 campaign``::
 
     campaign run   --replicates 20 --seed 7 --out campaign.json --ledger L
     campaign report --manifest campaign.json        # or --ledger L
-    campaign check --baseline base.json --manifest campaign.json
+    campaign check --baseline base.json --manifest campaign.json [--explain]
+    campaign figures --manifest campaign.json       # box plots (+ timeline)
 
 Schemas: docs/observability.md; fault scenarios and policies:
 docs/robustness.md.  All output goes through one BrokenPipe-safe
@@ -339,7 +341,7 @@ def main(argv: list[str] | None = None) -> int:
     ochk.add_argument("--app", default=None, help="only check this app's reports")
     ochk.set_defaults(fn=_cmd_obs_check)
 
-    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 3)")
+    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 5)")
     led_sub = led.add_subparsers(dest="ledger_command", required=True)
 
     lrec = led_sub.add_parser("record", help="append manifests for a recorded run")
@@ -385,6 +387,31 @@ def main(argv: list[str] | None = None) -> int:
     dash.add_argument("--html", default=None, metavar="PATH",
                       help="also write a self-contained HTML dashboard")
     dash.set_defaults(fn=_cmd_obs_dashboard)
+
+    oexp = obs_sub.add_parser(
+        "explain", help="root-cause diff of campaign cells (paired traced re-runs)"
+    )
+    oexp.add_argument("--baseline", required=True, metavar="PATH",
+                      help="baseline campaign manifest JSON")
+    oexp.add_argument("--manifest", required=True, metavar="PATH",
+                      help="current campaign manifest JSON")
+    oexp.add_argument("--cell", default=None, metavar="KEY",
+                      help="comma-separated cell keys (default: every cell the "
+                           "statistical check flags)")
+    oexp.add_argument("--replicate", type=int, default=None,
+                      help="replicate index to re-run (default: the completed "
+                           "one nearest the current median)")
+    oexp.add_argument("--alpha", type=float, default=None,
+                      help="Mann-Whitney significance level (default 0.05)")
+    oexp.add_argument("--effect", type=float, default=None,
+                      help="relative median-shift threshold (default 0.02)")
+    oexp.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append 'explain' entries to this run ledger")
+    oexp.add_argument("--out", default=None, metavar="PATH",
+                      help="write the explain manifests as a JSON array")
+    oexp.add_argument("--json", action="store_true",
+                      help="emit the explain manifests as JSON")
+    oexp.set_defaults(fn=_cmd_obs_explain)
 
     flt = sub.add_parser("faults", help="fault injection and graceful degradation")
     flt_sub = flt.add_subparsers(dest="faults_command", required=True)
@@ -444,7 +471,9 @@ def main(argv: list[str] | None = None) -> int:
         "run", help="apps x scenarios grid, N seeded replicates per cell"
     )
     crun.add_argument("--apps", default="lu,fw", help="comma-separated: lu,fw")
-    crun.add_argument("--preset", default="xd1")
+    crun.add_argument("--preset", default="xd1",
+                      help="machine preset, or a comma-separated list for a "
+                           "multi-preset grid (e.g. xd1,xt3,rasc)")
     crun.add_argument("--scenarios", default="nominal",
                       help="comma-separated library scenario names")
     crun.add_argument("--replicates", type=int, default=20,
@@ -490,9 +519,28 @@ def main(argv: list[str] | None = None) -> int:
     cchk.add_argument("--effect", type=float, default=None,
                       help="relative median-shift threshold (default 0.02)")
     cchk.add_argument("--ledger", default=None, metavar="PATH",
-                      help="append a 'campaign_check' manifest to this run ledger")
+                      help="append a 'campaign_check' manifest to this run ledger"
+                           " (and, with --explain, the explain manifests)")
     cchk.add_argument("--json", action="store_true", help="emit the verdicts as JSON")
+    cchk.add_argument("--explain", action="store_true",
+                      help="re-run each flagged cell traced on both sides and "
+                           "print a blame-ranked root-cause diff")
+    cchk.add_argument("--explain-out", default=None, metavar="PATH",
+                      help="write the explain manifests as a JSON array")
     cchk.set_defaults(fn=_cmd_campaign_check)
+
+    cfig = cmp_sub.add_parser(
+        "figures", help="per-cell box plots (and --ledger makespan timeline)"
+    )
+    cfig.add_argument("--manifest", default=None, metavar="PATH",
+                      help="campaign manifest JSON (from 'campaign run --out')")
+    cfig.add_argument("--ledger", default=None, metavar="PATH",
+                      help="read campaign entries from this ledger (latest for "
+                           "the box plot, all of them for the timeline)")
+    cfig.add_argument("--width", type=int, default=46, help="box-plot width")
+    cfig.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the figures to a text file")
+    cfig.set_defaults(fn=_cmd_campaign_figures)
 
     args = parser.parse_args(argv)
     _p.reset()
@@ -594,7 +642,7 @@ def _cmd_ledger_record(args: argparse.Namespace) -> int:
 
 
 def _cmd_ledger_list(args: argparse.Namespace) -> int:
-    from .obs import LedgerError, RunLedger
+    from .obs import LEDGER_SCHEMA, LedgerError, RunLedger
 
     try:
         entries = RunLedger(args.ledger).entries(app=args.app)
@@ -622,7 +670,7 @@ def _cmd_ledger_list(args: argparse.Namespace) -> int:
     _p(table(
         ["seq", "ts", "kind", "app", "preset", "overlap_eff", "bound by", "git", "source"],
         rows,
-        title=f"run ledger {args.ledger} (schema 3)",
+        title=f"run ledger {args.ledger} (schema {LEDGER_SCHEMA})",
     ))
     return 0
 
@@ -812,6 +860,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .parallel import resolve_jobs
 
     apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    presets = tuple(p.strip() for p in args.preset.split(",") if p.strip())
     try:
         seed = resolve_seed(args.seed)
         scenarios = tuple(
@@ -827,7 +876,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         )
         spec = CampaignSpec(
             apps=apps,
-            preset=args.preset,
+            preset=presets[0] if presets else "xd1",
+            presets=presets if len(presets) > 1 else (),
             scenarios=scenarios,
             replicates=args.replicates,
             seed=seed,
@@ -841,8 +891,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     cache = args.cache
     if cache is not None and cache.strip().lower() in ("", "off", "0", "none", "false"):
         cache = False
+    telemetry: dict = {}
     try:
-        manifest = run_campaign(spec, jobs=args.jobs, cache=cache)
+        manifest = run_campaign(spec, jobs=args.jobs, cache=cache, telemetry=telemetry)
     except ValueError as exc:
         _p(f"error: {exc}")
         return 2
@@ -850,6 +901,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         _p(_json.dumps(manifest, indent=2, sort_keys=True))
     else:
         _p(render_manifest(manifest))
+        if telemetry.get("executor"):
+            from .obs.dashboard import _worker_lines
+
+            _p("workers:")
+            for line in _worker_lines(telemetry):
+                _p(f"  {line}")
     if args.out:
         from .campaign import write_manifest
 
@@ -861,7 +918,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         from .obs import RunLedger, campaign_entry
 
         ledger = RunLedger(args.ledger)
-        ledger.append(campaign_entry(manifest, source="cli"))
+        ledger.append(campaign_entry(manifest, source="cli", workers=telemetry))
         _p(f"campaign manifest appended to {ledger.path}")
     return 0
 
@@ -935,7 +992,118 @@ def _cmd_campaign_check(args: argparse.Namespace) -> int:
         ledger = RunLedger(args.ledger)
         ledger.append(campaign_check_entry(comparison, source="cli"))
         _p(f"campaign_check manifest appended to {ledger.path}")
+    if args.explain or args.explain_out:
+        from .campaign import explain_comparison
+
+        try:
+            explains = explain_comparison(baseline, current, comparison=comparison)
+        except ValueError as exc:
+            _p(f"error: {exc}")
+            return 2
+        _emit_explains(explains, out=args.explain_out,
+                       ledger=args.ledger, as_json=args.json)
     return 1 if comparison["verdict"] == "fail" else 0
+
+
+def _emit_explains(
+    explains: list[dict],
+    *,
+    out: str | None,
+    ledger: str | None,
+    as_json: bool,
+) -> None:
+    """Print / persist explain manifests (shared by check --explain and
+    obs explain)."""
+    import json as _json
+    from pathlib import Path
+
+    from .obs import render_explain
+
+    if as_json:
+        _p(_json.dumps(explains, indent=2, sort_keys=True))
+    elif not explains:
+        _p("nothing to explain (no flagged cells)")
+    else:
+        for manifest in explains:
+            _p(render_explain(manifest))
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            _json.dump(explains, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        _p(f"explain manifests written to {path} ({len(explains)} cells)")
+    if ledger and explains:
+        from .obs import RunLedger, explain_entry
+
+        led = RunLedger(ledger)
+        for manifest in explains:
+            led.append(explain_entry(manifest, source="cli"))
+        _p(f"{len(explains)} explain manifests appended to {led.path}")
+
+
+def _cmd_obs_explain(args: argparse.Namespace) -> int:
+    from .campaign import DEFAULT_ALPHA, DEFAULT_EFFECT, load_manifest
+    from .campaign.explain import explain_cell, explain_comparison
+
+    try:
+        baseline = load_manifest(args.baseline)
+        current = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    try:
+        if args.cell:
+            keys = [k.strip() for k in args.cell.split(",") if k.strip()]
+            explains = [
+                explain_cell(baseline, current, key, replicate=args.replicate)
+                for key in keys
+            ]
+        else:
+            explains = explain_comparison(
+                baseline,
+                current,
+                alpha=args.alpha if args.alpha is not None else DEFAULT_ALPHA,
+                effect_threshold=(
+                    args.effect if args.effect is not None else DEFAULT_EFFECT
+                ),
+            )
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    _emit_explains(explains, out=args.out, ledger=args.ledger, as_json=args.json)
+    return 0
+
+
+def _cmd_campaign_figures(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .campaign import render_figures, render_timeline
+    from .obs import LedgerError
+
+    try:
+        manifest = _load_campaign_manifest(args)
+    except (OSError, ValueError, LedgerError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    if manifest is None:
+        _p("error: pass --manifest PATH or --ledger PATH")
+        return 2
+    parts = [render_figures(manifest, width=args.width)]
+    if args.ledger:
+        from .obs import RunLedger
+
+        entries = RunLedger(args.ledger).entries(kind="campaign")
+        if len(entries) > 1:
+            parts.append(render_timeline(entries))
+    text = "\n\n".join(parts)
+    _p(text)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        _p(f"figures written to {path}")
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:

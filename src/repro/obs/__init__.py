@@ -18,6 +18,9 @@ The instrumentation substrate for the whole reproduction:
   the ledger (drift detection, band gating, entry diffing);
 * :mod:`repro.obs.critical_path` -- attribution of a simulated makespan
   to resource segments (which Eq. (1)-(6) term bound the run);
+* :mod:`repro.obs.explain` -- paired-trace regression explanation:
+  diff two critical paths into a blame-ranked ``explain`` manifest
+  (which lane grew, which model term it loads onto);
 * :mod:`repro.obs.dashboard` -- ASCII / self-contained-HTML rendering
   of fidelity trends and bottleneck attributions;
 * :mod:`repro.obs.console` -- the BrokenPipe-safe CLI writer.
@@ -36,6 +39,15 @@ from .critical_path import (
     from_chrome_trace,
 )
 from .dashboard import render_ascii, render_html
+from .explain import (
+    DEFAULT_MIN_DELTA,
+    EXPLAIN_SCHEMA,
+    blame_resources,
+    build_explain,
+    lane_deltas,
+    phase_deltas,
+    render_explain,
+)
 from .export import (
     METRICS_SCHEMA,
     chrome_trace_events,
@@ -63,6 +75,7 @@ from .ledger import (
     design_run_entry,
     entries_from_metrics,
     experiments_entry,
+    explain_entry,
     fault_run_entry,
 )
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, get_registry
@@ -73,6 +86,8 @@ __all__ = [
     "Counter",
     "CriticalPathReport",
     "DEFAULT_BAND",
+    "DEFAULT_MIN_DELTA",
+    "EXPLAIN_SCHEMA",
     "FidelityStat",
     "Gauge",
     "Histogram",
@@ -89,6 +104,8 @@ __all__ = [
     "Span",
     "Tracer",
     "bench_entry",
+    "blame_resources",
+    "build_explain",
     "busy_by_resource",
     "campaign_check_entry",
     "campaign_entry",
@@ -100,17 +117,21 @@ __all__ = [
     "diff_entries",
     "entries_from_metrics",
     "experiments_entry",
+    "explain_entry",
     "fault_run_entry",
     "fidelity_check",
     "fidelity_report",
     "from_chrome_trace",
     "get_registry",
     "get_tracer",
+    "lane_deltas",
     "metrics_summary",
+    "phase_deltas",
     "read_metrics_jsonl",
     "reconcile",
     "render_ascii",
     "render_diff",
+    "render_explain",
     "render_html",
     "safe_print",
     "set_tracer",

@@ -127,6 +127,22 @@ class CriticalPathReport:
         return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
 
     @property
+    def by_phase(self) -> dict[str, float]:
+        """Chain seconds per activity class, descending.
+
+        Labels classify via :func:`classify_label` (compute /
+        communication / staging); idle chain segments -- time no lane
+        covered -- surface as ``stall``.  The phase view of the same
+        chain :attr:`by_resource` rolls up by lane class, so the two
+        always sum to the same total.
+        """
+        totals: dict[str, float] = {}
+        for seg in self.segments:
+            cls = "stall" if seg.resource == "idle" else classify_label(seg.label)
+            totals[cls] = totals.get(cls, 0.0) + seg.duration
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    @property
     def dominant_resource(self) -> str:
         """The resource class carrying the most critical-path time."""
         totals = self.by_resource
@@ -163,6 +179,7 @@ class CriticalPathReport:
             "dominant_fraction": self.dominant_fraction,
             "coverage": self.coverage,
             "by_resource": self.by_resource,
+            "by_phase": self.by_phase,
             "segments": len(self.segments),
             "top_segments": [seg.to_dict() for seg in longest],
         }

@@ -8,11 +8,15 @@ Two renderers over the same ledger content:
   outcome per fault scenario (``fault_run`` entries), and the campaign
   panel: per-cell makespan distributions with drift arrows against the
   previous campaign plus the latest statistical check verdicts
-  (``campaign`` / ``campaign_check`` entries);
+  (``campaign`` / ``campaign_check`` entries), the latest regression
+  explanation per cell (``explain`` entries: blame-ranked lane deltas
+  with their model terms), and the newest campaign's worker telemetry
+  (per-worker busy bars, queue waits, stragglers, cache hit rate);
 * :func:`render_html` -- a self-contained HTML page (inline CSS + SVG,
   no external assets or scripts) with the same content: a fidelity
   table with trend sparklines, per-resource critical-path bars, the
-  resilience table, and the campaign distribution / verdict tables.
+  resilience table, and the campaign distribution / verdict / explain /
+  worker tables.
 
 Both are pure functions of the ledger entries so tests can pin them;
 the CLI front-end is ``repro-xd1 obs dashboard``.
@@ -91,6 +95,24 @@ def _latest_campaign_check(entries: list[dict[str, Any]]) -> Optional[dict]:
     for entry in entries:
         if entry.get("kind") == "campaign_check":
             latest = entry
+    return latest
+
+
+def _latest_explains(entries: list[dict[str, Any]]) -> dict[str, dict]:
+    """Newest ``explain`` entry per cell (schema 5), in ledger order."""
+    out: dict[str, dict] = {}
+    for entry in entries:
+        if entry.get("kind") == "explain" and entry.get("cell"):
+            out[str(entry["cell"])] = entry
+    return out
+
+
+def _latest_worker_telemetry(entries: list[dict[str, Any]]) -> Optional[dict]:
+    """The newest ``campaign`` entry's ``workers`` telemetry block."""
+    latest = None
+    for entry in entries:
+        if entry.get("kind") == "campaign" and isinstance(entry.get("workers"), dict):
+            latest = entry["workers"]
     return latest
 
 
@@ -220,7 +242,92 @@ def render_ascii(entries: list[dict[str, Any]], band: float = DEFAULT_BAND) -> s
                     note=f"  ({cell['note']})" if cell.get("note") else "",
                 )
             )
+    explains = _latest_explains(entries)
+    if explains:
+        lines.append("")
+        lines.append("regression explanations (latest explain per cell):")
+        for key in sorted(explains):
+            entry = explains[key]
+            manifest = entry.get("explain") or {}
+            delta = manifest.get("delta") or {}
+            rel = delta.get("relative")
+            lines.append(
+                "  {key}: verdict {verdict}  delta {d} ({rel})  "
+                "replicate {rep}".format(
+                    key=key,
+                    verdict=entry.get("verdict", "?"),
+                    d="-" if delta.get("makespan_s") is None
+                    else f"{delta['makespan_s']:+.4g}s",
+                    rel="-" if rel is None else f"{rel:+.2%}",
+                    rep=manifest.get("replicate", "?"),
+                )
+            )
+            for row in (manifest.get("blame") or [])[:3]:
+                share = row.get("share")
+                lines.append(
+                    "    blame {res:<5} {d:+.4g}s{share}  {term}".format(
+                        res=row.get("resource", "?"),
+                        d=row.get("delta_s", 0.0),
+                        share="" if share is None else f" (share {share:.0%})",
+                        term=row.get("term", ""),
+                    )
+                )
+    workers = _latest_worker_telemetry(entries)
+    if workers:
+        lines.append("")
+        lines.append("sweep worker telemetry (latest campaign):")
+        lines.extend(f"  {line}" for line in _worker_lines(workers))
     return "\n".join(lines)
+
+
+def _worker_lines(workers: dict[str, Any]) -> list[str]:
+    """The worker-telemetry block as plain text lines (shared by the
+    ASCII dashboard and the CLI footer)."""
+    ex = workers.get("executor") or {}
+    out: list[str] = []
+    if ex:
+        out.append(
+            "mode {mode}  workers {w}  tasks {t}  chunks {c}  elapsed {e}".format(
+                mode=ex.get("mode", "?"),
+                w=ex.get("workers", "?"),
+                t=ex.get("tasks", "?"),
+                c=ex.get("chunks", "?"),
+                e="-" if ex.get("elapsed_s") is None else f"{ex['elapsed_s']:.3f}s",
+            )
+        )
+    qw = ex.get("queue_wait_s") or {}
+    if qw:
+        stragglers = ex.get("stragglers") or []
+        out.append(
+            "queue wait mean {mean:.4f}s max {mx:.4f}s  imbalance {imb:.2f}x  "
+            "stragglers: {st}".format(
+                mean=qw.get("mean", 0.0),
+                mx=qw.get("max", 0.0),
+                imb=ex.get("imbalance", 1.0),
+                st=", ".join(f"w{i}" for i in stragglers) if stragglers else "none",
+            )
+        )
+    per_worker = ex.get("per_worker") or []
+    busy_max = max((w.get("busy_s", 0.0) for w in per_worker), default=0.0)
+    for w in per_worker:
+        busy = w.get("busy_s", 0.0)
+        bar = "#" * max(1, round(busy / busy_max * 24)) if busy_max > 0 else ""
+        out.append(
+            f"w{w.get('worker')} pid {w.get('pid')}  chunks {w.get('chunks')}  "
+            f"tasks {w.get('tasks')}  busy {busy:.3f}s  |{bar}|"
+        )
+    cache = workers.get("cache")
+    if cache:
+        rate = workers.get("cache_hit_rate")
+        out.append(
+            "cache: {lk} lookups, {h} hits, {m} misses ({rate})".format(
+                lk=cache.get("lookups", 0),
+                h=cache.get("hits", 0),
+                m=cache.get("misses", 0),
+                rate="-" if rate is None else f"{rate:.1%} hit rate",
+            )
+        )
+    return out
 
 
 def _fmt_s(value: Optional[float]) -> str:
@@ -469,6 +576,93 @@ def _campaign_check_table(entries: list[dict[str, Any]]) -> str:
     )
 
 
+def _explain_table(entries: list[dict[str, Any]]) -> str:
+    explains = _latest_explains(entries)
+    if not explains:
+        return ""
+    rows = []
+    for key in sorted(explains):
+        entry = explains[key]
+        manifest = entry.get("explain") or {}
+        delta = manifest.get("delta") or {}
+        rel = delta.get("relative")
+        top = (manifest.get("blame") or [{}])[0]
+        verdict = str(entry.get("verdict", "?"))
+        d = delta.get("makespan_s")
+        top_d = top.get("delta_s")
+        rows.append(
+            "<tr>"
+            f"<td>{escape(key)}</td>"
+            f'<td class="status {"below" if verdict == "model" else "ok"}">'
+            f"{escape(verdict)}</td>"
+            f'<td class="num">{"-" if d is None else format(d, "+.4g") + "s"}</td>'
+            f'<td class="num">{"-" if rel is None else format(rel, "+.2%")}</td>'
+            f"<td>{escape(str(top.get('resource') or '-'))}</td>"
+            f'<td class="num">{"-" if top_d is None else format(top_d, "+.4g") + "s"}</td>'
+            f'<td class="lane">{escape(str(manifest.get("top_term") or ""))}</td>'
+            "</tr>"
+        )
+    return (
+        "<h2>Regression explanations</h2>"
+        '<p class="sub">latest paired-trace blame diff per cell '
+        "(docs/observability.md &ldquo;Explaining regressions&rdquo;)</p>"
+        "<table><thead><tr><th>cell</th><th>verdict</th>"
+        "<th class='num'>&Delta; makespan</th><th class='num'>relative</th>"
+        "<th>top blame</th><th class='num'>lane &Delta;</th>"
+        "<th>model term</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _workers_table(entries: list[dict[str, Any]]) -> str:
+    workers = _latest_worker_telemetry(entries)
+    if not workers:
+        return ""
+    ex = workers.get("executor") or {}
+    per_worker = ex.get("per_worker") or []
+    busy_max = max((w.get("busy_s", 0.0) for w in per_worker), default=0.0)
+    stragglers = set(ex.get("stragglers") or [])
+    rows = []
+    for w in per_worker:
+        busy = w.get("busy_s", 0.0)
+        width = max(2, round(busy / busy_max * 180)) if busy_max > 0 else 2
+        status = "straggler" if w.get("worker") in stragglers else "ok"
+        rows.append(
+            "<tr>"
+            f"<td>w{w.get('worker')}</td>"
+            f"<td class='num'>{w.get('pid')}</td>"
+            f"<td class='num'>{w.get('chunks')}</td>"
+            f"<td class='num'>{w.get('tasks')}</td>"
+            f"<td class='num'>{busy:.3f}s</td>"
+            f'<td class="bartrack"><div class="bar" style="width:{width}px"></div></td>'
+            f'<td class="status {"below" if status == "straggler" else "ok"}">{status}</td>'
+            "</tr>"
+        )
+    qw = ex.get("queue_wait_s") or {}
+    cache = workers.get("cache") or {}
+    rate = workers.get("cache_hit_rate")
+    sub = (
+        f"mode {escape(str(ex.get('mode', '?')))} &middot; "
+        f"{ex.get('tasks', '?')} tasks in {ex.get('chunks', '?')} chunks &middot; "
+        f"queue wait mean {qw.get('mean', 0.0):.4f}s / max {qw.get('max', 0.0):.4f}s "
+        f"&middot; imbalance {ex.get('imbalance', 1.0):.2f}x"
+    )
+    if cache:
+        sub += (
+            f" &middot; cache {cache.get('hits', 0)}/{cache.get('lookups', 0)} hits"
+            + ("" if rate is None else f" ({rate:.1%})")
+        )
+    table = (
+        "<table><thead><tr><th>worker</th><th class='num'>pid</th>"
+        "<th class='num'>chunks</th><th class='num'>tasks</th>"
+        "<th class='num'>busy</th><th>busy share</th><th>status</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        if rows
+        else '<p class="sub">serial run &mdash; no worker pool.</p>'
+    )
+    return f"<h2>Sweep worker telemetry</h2><p class='sub'>{sub}</p>{table}"
+
+
 def render_html(
     entries: list[dict[str, Any]],
     band: float = DEFAULT_BAND,
@@ -501,6 +695,8 @@ def render_html(
 {_resilience_table(entries)}
 {_campaign_tables(entries)}
 {_campaign_check_table(entries)}
+{_explain_table(entries)}
+{_workers_table(entries)}
 </body>
 </html>
 """

@@ -1,8 +1,9 @@
-"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 4``).
+"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 5``).
 
 Every instrumented run -- an LU/FW/MM design run, an experiments sweep,
 a ``bench_perf_regression`` baseline check, a fault-injection run, a
-statistical campaign or a campaign regression check -- can
+statistical campaign, a campaign regression check or a regression
+*explanation* (paired-trace blame diff) -- can
 append one *manifest* line to a JSON-lines ledger file.  A manifest records everything needed
 to compare runs across commits and machines: git SHA, machine preset,
 the partition decisions ``(b_p, b_f, l)`` / ``(l1, l2)`` / ``(m_f, r)``,
@@ -40,6 +41,7 @@ __all__ = [
     "fault_run_entry",
     "campaign_entry",
     "campaign_check_entry",
+    "explain_entry",
 ]
 
 #: Current ledger schema version.  Schema 1 was the metrics-file format
@@ -47,18 +49,22 @@ __all__ = [
 #: schema 2; schema 3 added the ``fault_run`` kind (resilience manifests
 #: from :mod:`repro.faults`); schema 4 adds the ``campaign`` and
 #: ``campaign_check`` kinds (replicated-scenario distribution manifests
-#: and statistical regression verdicts from :mod:`repro.campaign`).
+#: and statistical regression verdicts from :mod:`repro.campaign`);
+#: schema 5 adds the ``explain`` kind (paired-trace blame manifests from
+#: :mod:`repro.obs.explain` / :mod:`repro.campaign.explain`) and the
+#: optional ``workers`` telemetry block on ``campaign`` entries.
 #: Entries written by older schemas remain readable:
-#: :meth:`RunLedger.entries` accepts any ``schema <= 4``.  Bump on
+#: :meth:`RunLedger.entries` accepts any ``schema <= 5``.  Bump on
 #: breaking changes to the entry layout.
-LEDGER_SCHEMA = 4
+LEDGER_SCHEMA = 5
 
 #: Entry kinds the observatory understands.  ``design_run`` entries feed
 #: the fidelity analysis, ``fault_run`` entries feed the resilience
-#: report, ``campaign``/``campaign_check`` entries feed the campaign
-#: observatory; the others are audit records.
+#: report, ``campaign``/``campaign_check``/``explain`` entries feed the
+#: campaign observatory; the others are audit records.
 ENTRY_KINDS = (
-    "design_run", "experiments", "bench", "fault_run", "campaign", "campaign_check",
+    "design_run", "experiments", "bench", "fault_run", "campaign",
+    "campaign_check", "explain",
 )
 
 #: Environment override for :func:`current_git_sha` (useful in CI and
@@ -448,6 +454,7 @@ def campaign_entry(
     source: str = "cli",
     git_sha: Optional[str] = None,
     note: Optional[str] = None,
+    workers: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """A ``campaign`` manifest: per-cell makespan distributions.
 
@@ -457,6 +464,12 @@ def campaign_entry(
     scenarios, replicates, master seed, perturbation model) and a
     ``cells`` map keyed by ``app@preset/scenario`` holding each cell's
     replicate samples, merged histogram and median/IQR/p95/p99 summary.
+
+    ``workers`` optionally attaches executor telemetry for the run (the
+    :attr:`repro.parallel.SweepExecutor.last_telemetry` dict plus cache
+    stats): per-worker spans, queue waits, imbalance and stragglers.
+    It rides on the ledger entry only -- never inside the campaign
+    manifest itself, which must stay bitwise-deterministic.
     """
     if manifest.get("kind") != "campaign":
         raise LedgerError(f"not a campaign manifest: kind={manifest.get('kind')!r}")
@@ -477,6 +490,8 @@ def campaign_entry(
         "points": manifest.get("points"),
         "failures": manifest.get("failures"),
     }
+    if workers:
+        entry["workers"] = dict(workers)
     if note:
         entry["note"] = note
     return entry
@@ -514,6 +529,45 @@ def campaign_check_entry(
         "effect_threshold": comparison.get("effect_threshold"),
         "cells": dict(comparison["cells"]),
         "flagged": list(comparison.get("flagged") or ()),
+    }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def explain_entry(
+    manifest: dict[str, Any],
+    *,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+) -> dict[str, Any]:
+    """An ``explain`` manifest: a paired-trace blame diff for one cell.
+
+    ``manifest`` is the dict from
+    :func:`repro.obs.explain.build_explain`: one flagged replicate
+    re-simulated under both builds, the two critical paths diffed per
+    resource class / activity phase / concrete lane, each delta glossed
+    with the paper Eq-term it loads onto, plus the verdict (``model`` /
+    ``improvement`` / ``inconclusive``).  The manifest is embedded
+    verbatim -- it is already deterministic and self-contained -- with
+    the cell identity hoisted so dashboards can index without descending.
+    """
+    if manifest.get("kind") != "explain":
+        raise LedgerError(f"not an explain manifest: kind={manifest.get('kind')!r}")
+    for key in ("cell", "blame", "verdict"):
+        if key not in manifest:
+            raise LedgerError(f"explain manifest is missing {key!r}")
+    entry: dict[str, Any] = {
+        "kind": "explain",
+        "app": manifest.get("app"),
+        "preset": manifest.get("preset") or "xd1",
+        "cell": manifest["cell"],
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "verdict": manifest.get("verdict"),
+        "top_blame": manifest.get("top_blame"),
+        "explain": dict(manifest),
     }
     if note:
         entry["note"] = note

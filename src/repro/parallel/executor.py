@@ -47,6 +47,11 @@ MIN_POINTS_PER_JOB = 2
 #: that per-chunk submission and transport overhead stays negligible.
 CHUNKS_PER_WORKER = 4
 
+#: A worker whose busy time exceeds the median by this factor is a
+#: straggler (reported in :attr:`SweepExecutor.last_telemetry` and the
+#: dashboard's worker panel).
+STRAGGLER_FACTOR = 1.5
+
 
 def resolve_jobs(jobs: Optional[int | str] = None) -> int:
     """The effective worker count for ``jobs`` (see module docstring)."""
@@ -82,8 +87,18 @@ def _run_chunk(fn: Callable[[Any], Any], chunk: list[Any]) -> bytes:
     Serialising in the worker keeps the result transport a single opaque
     ``bytes`` per chunk (protocol 5 supports out-of-band buffers for
     large payloads), instead of one executor round-trip per point.
+
+    Alongside the results the blob carries a per-chunk worker span --
+    pid plus wall-clock start/end (``time.time``, comparable across
+    processes on one host) -- which the parent folds into per-worker
+    telemetry: queue waits, busy time, imbalance, stragglers.
     """
-    return pickle.dumps([fn(v) for v in chunk], protocol=5)
+    start = time.time()
+    results = [fn(v) for v in chunk]
+    return pickle.dumps(
+        {"results": results, "pid": os.getpid(), "start": start, "end": time.time()},
+        protocol=5,
+    )
 
 
 class SweepExecutor:
@@ -107,6 +122,13 @@ class SweepExecutor:
         #: How the last map() call ran ("serial" | "parallel"); for tests
         #: and benchmark reporting.
         self.last_mode: str = "serial"
+        #: Executor telemetry of the last map() call: mode, task/chunk
+        #: counts, per-worker spans (pid, chunks, tasks, busy seconds),
+        #: queue-wait stats, busy-time imbalance and straggler worker
+        #: indices.  Wall-clock data -- feed it to dashboards and the
+        #: ledger's ``workers`` block, never into deterministic
+        #: manifests.  Empty until the first map().
+        self.last_telemetry: dict[str, Any] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def close(self) -> None:
@@ -155,6 +177,7 @@ class SweepExecutor:
             # the two clock reads per task are noise.
             task_hist = REGISTRY.histogram("sweep.task_seconds", mode="serial")
             results = []
+            map_start = time.perf_counter()
             with tracer.span("sweep.map", category="sweep", mode="serial", tasks=n):
                 for v in items:
                     t0 = time.perf_counter()
@@ -162,6 +185,13 @@ class SweepExecutor:
                     task_hist.observe(time.perf_counter() - t0)
             REGISTRY.counter("sweep.tasks", mode="serial").inc(n)
             REGISTRY.counter("sweep.maps", mode="serial").inc()
+            self.last_telemetry = {
+                "mode": "serial",
+                "workers": 1,
+                "tasks": n,
+                "chunks": 0,
+                "elapsed_s": time.perf_counter() - map_start,
+            }
             return results
         self.last_mode = "parallel"
         workers = min(self.jobs, n)
@@ -174,9 +204,25 @@ class SweepExecutor:
         with tracer.span("sweep.map", category="sweep", mode="parallel", tasks=n,
                          workers=workers, chunksize=chunksize):
             pool = self._ensure_pool()
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            results = [r for fut in futures for r in pickle.loads(fut.result())]
+            futures = []
+            for chunk in chunks:
+                futures.append((pool.submit(_run_chunk, fn, chunk), time.time(), len(chunk)))
+            results = []
+            spans = []
+            for fut, submitted, size in futures:
+                payload = pickle.loads(fut.result())
+                results.extend(payload["results"])
+                spans.append(
+                    {
+                        "pid": payload["pid"],
+                        "start": payload["start"],
+                        "end": payload["end"],
+                        "queue_wait": max(0.0, payload["start"] - submitted),
+                        "tasks": size,
+                    }
+                )
         elapsed = time.perf_counter() - t0
+        self.last_telemetry = self._fold_telemetry(workers, n, spans, elapsed)
         REGISTRY.counter("sweep.tasks", mode="parallel").inc(n)
         REGISTRY.counter("sweep.maps", mode="parallel").inc()
         REGISTRY.gauge("sweep.workers").max(workers)
@@ -188,6 +234,64 @@ class SweepExecutor:
             )
             REGISTRY.gauge("sweep.last_points_per_s").set(n / elapsed)
         return results
+
+    def _fold_telemetry(
+        self,
+        workers: int,
+        tasks: int,
+        spans: list[dict[str, Any]],
+        elapsed: float,
+    ) -> dict[str, Any]:
+        """Per-chunk worker spans folded into the pool-health summary.
+
+        Workers are indexed by first-seen pid order (stable for one
+        pool); ``imbalance`` is max/mean busy time (1.0 = perfectly
+        balanced) and ``stragglers`` lists worker indices whose busy
+        time exceeds :data:`STRAGGLER_FACTOR` x the median -- the "this
+        wasn't the model, worker 3 stalled" signal for explanations
+        whose paired sim re-runs agree.
+        """
+        per_pid: dict[int, dict[str, Any]] = {}
+        wait_hist = REGISTRY.histogram("sweep.queue_wait_seconds")
+        for span in spans:
+            stats = per_pid.setdefault(
+                span["pid"], {"chunks": 0, "tasks": 0, "busy_s": 0.0}
+            )
+            stats["chunks"] += 1
+            stats["tasks"] += span["tasks"]
+            stats["busy_s"] += span["end"] - span["start"]
+            wait_hist.observe(span["queue_wait"])
+        per_worker = [
+            {"worker": i, "pid": pid, **per_pid[pid]}
+            for i, pid in enumerate(per_pid)
+        ]
+        busy = sorted(w["busy_s"] for w in per_worker)
+        mean_busy = sum(busy) / len(busy) if busy else 0.0
+        median_busy = busy[len(busy) // 2] if busy else 0.0
+        imbalance = busy[-1] / mean_busy if busy and mean_busy > 0 else 1.0
+        stragglers = [
+            w["worker"]
+            for w in per_worker
+            if median_busy > 0 and w["busy_s"] > STRAGGLER_FACTOR * median_busy
+        ]
+        waits = [s["queue_wait"] for s in spans]
+        REGISTRY.gauge("sweep.imbalance").set(imbalance)
+        if stragglers:
+            REGISTRY.counter("sweep.stragglers").inc(len(stragglers))
+        return {
+            "mode": "parallel",
+            "workers": workers,
+            "tasks": tasks,
+            "chunks": len(spans),
+            "elapsed_s": elapsed,
+            "per_worker": per_worker,
+            "queue_wait_s": {
+                "max": max(waits) if waits else 0.0,
+                "mean": sum(waits) / len(waits) if waits else 0.0,
+            },
+            "imbalance": imbalance,
+            "stragglers": stragglers,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SweepExecutor jobs={self.jobs}>"

@@ -194,6 +194,38 @@ class Trace:
             )
         return trace
 
+    def busy_by_class(self, classifier: Any) -> dict[str, float]:
+        """Busy lane-seconds per ``classifier(label)`` class, descending.
+
+        ``classifier`` maps an interval label to a class name (e.g.
+        :func:`repro.obs.critical_path.classify_label`).  Within each
+        (lane, class) pair overlapping intervals are merged so shared
+        lanes are not double counted, then lane totals are summed per
+        class -- the result is lane-seconds, not wall seconds, which is
+        what paired-run activity diffs want (two lanes each 1s busier
+        is a 2s shift in that class of work).
+        """
+        groups: dict[tuple[str, str], list[Interval]] = defaultdict(list)
+        for iv in self.intervals:
+            groups[(iv.category, classifier(iv.label))].append(iv)
+        totals: dict[str, float] = {}
+        for (_, cls), ivs in groups.items():
+            busy = 0.0
+            cur_start: Optional[float] = None
+            cur_end = 0.0
+            for iv in sorted(ivs, key=lambda iv: iv.start):
+                if cur_start is None:
+                    cur_start, cur_end = iv.start, iv.end
+                elif iv.start <= cur_end:
+                    cur_end = max(cur_end, iv.end)
+                else:
+                    busy += cur_end - cur_start
+                    cur_start, cur_end = iv.start, iv.end
+            if cur_start is not None:
+                busy += cur_end - cur_start
+            totals[cls] = totals.get(cls, 0.0) + busy
+        return dict(sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])))
+
     def utilisation_by_prefix(self, prefix: str) -> dict[str, float]:
         """Utilisation of every lane whose category starts with ``prefix``."""
         horizon = self.makespan()

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.analysis import Series, bar_chart, comparison_row, line_chart, percent, sweep, table
+from repro.analysis import (
+    Series,
+    bar_chart,
+    box_plot,
+    comparison_row,
+    line_chart,
+    percent,
+    sweep,
+    table,
+)
 
 
 # ------------------------------------------------------------------ Series
@@ -74,6 +83,35 @@ def test_bar_chart_validation():
 def test_bar_chart_zero_values():
     text = bar_chart(["z"], [0.0], "T")
     assert "0" in text
+
+
+def test_box_plot_marks_quartiles_on_a_shared_scale():
+    stats = [
+        {"min": 0.0, "q25": 2.0, "median": 5.0, "q75": 8.0, "max": 10.0},
+        {"min": 4.0, "q25": 5.0, "median": 6.0, "q75": 7.0, "max": 8.0},
+    ]
+    text = box_plot(["wide", "tight"], stats, "T", width=21, unit="s")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    wide = lines[1]
+    body = wide[wide.index("|") + 1 : wide.rindex("|")]
+    assert body[0] == "-" and body[-1] == "-"  # whiskers span min..max
+    assert body[10] == "M"  # median of 5 on a 0..10 scale, width 21
+    assert "[" in body and "]" in body and "=" in body
+    assert "5s [2..8]" in wide
+    tight = lines[2]
+    assert tight.index("|") == wide.index("|")  # labels right-aligned
+    assert lines[-1].strip().startswith("0")  # shared axis footer
+    assert lines[-1].rstrip().endswith("10s")
+
+
+def test_box_plot_skips_empty_rows_and_validates():
+    stats = [{"min": 1.0, "q25": 1.0, "median": 1.0, "q75": 1.0, "max": 1.0}, {}]
+    text = box_plot(["ok", "gone"], stats, "T")
+    assert "ok" in text and "gone" not in text
+    assert "(no data)" in box_plot([], [], "T")
+    with pytest.raises(ValueError):
+        box_plot(["a"], [], "T")
 
 
 # ------------------------------------------------------------------ tables

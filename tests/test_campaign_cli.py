@@ -50,8 +50,9 @@ def test_campaign_run_appends_ledger_entry(tmp_path, capsys):
     from repro.obs import RunLedger
 
     (entry,) = RunLedger(ledger).entries(kind="campaign")
-    assert entry["schema"] == 4
+    assert entry["schema"] == 5
     assert entry["replicates"] == 4
+    assert entry["workers"]["executor"]["mode"] in ("serial", "parallel")
 
 
 def test_campaign_run_rejects_unknown_scenario(capsys):
@@ -118,6 +119,92 @@ def test_campaign_check_missing_manifest_exits_2(tmp_path, capsys):
     )
     assert rc == 2
     assert "error:" in capsys.readouterr().out
+
+
+def test_campaign_run_prints_worker_footer(tmp_path, capsys):
+    _run(tmp_path, "c.json")
+    out = capsys.readouterr().out
+    assert "workers:" in out
+    assert "mode serial" in out or "mode parallel" in out
+
+
+def test_campaign_run_multi_preset_comma_list(tmp_path, capsys):
+    out_path = tmp_path / "mp.json"
+    rc = main(
+        [
+            "campaign", "run", "--apps", "lu", "--preset", "xd1,xt3",
+            "--replicates", "2", "--seed", "7", "--cache", "off",
+            "--out", str(out_path),
+        ]
+    )
+    assert rc == 0
+    manifest = json.loads(out_path.read_text())
+    assert sorted(manifest["cells"]) == ["lu@xd1/nominal", "lu@xt3/nominal"]
+    assert manifest["presets"] == ["xd1", "xt3"]
+    assert manifest["cells"]["lu@xt3/nominal"]["preset"] == "xt3"
+
+
+def test_campaign_check_explain_blames_fpga(tmp_path, capsys):
+    base = _run(tmp_path, "base.json")
+    slow = _run(tmp_path, "slow.json", "--throttle-fpga", "0.8")
+    capsys.readouterr()
+    explains = tmp_path / "explains.json"
+    ledger = tmp_path / "ledger.jsonl"
+    rc = main(
+        [
+            "campaign", "check", "--baseline", str(base), "--manifest", str(slow),
+            "--explain", "--explain-out", str(explains), "--ledger", str(ledger),
+        ]
+    )
+    assert rc == 1  # still the check's failure exit code
+    out = capsys.readouterr().out
+    assert "explain lu@xd1/nominal" in out
+    assert "-> blame fpga:" in out
+    docs = json.loads(explains.read_text())
+    assert [m["cell"] for m in docs] == ["lu@xd1/nominal"]
+    assert docs[0]["top_blame"] == "fpga"
+    assert docs[0]["verdict"] == "model"
+    from repro.obs import RunLedger
+
+    (entry,) = RunLedger(ledger).entries(kind="explain")
+    assert entry["cell"] == "lu@xd1/nominal"
+    assert entry["top_blame"] == "fpga"
+
+
+def test_campaign_check_explain_self_explains_nothing(tmp_path, capsys):
+    base = _run(tmp_path, "b.json")
+    capsys.readouterr()
+    explains = tmp_path / "explains.json"
+    rc = main(
+        [
+            "campaign", "check", "--baseline", str(base), "--manifest", str(base),
+            "--explain", "--explain-out", str(explains),
+        ]
+    )
+    assert rc == 0
+    assert "nothing to explain" in capsys.readouterr().out
+    assert json.loads(explains.read_text()) == []
+
+
+def test_campaign_figures_renders_box_plot_and_timeline(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    path = _run(tmp_path, "a.json", "--ledger", str(ledger))
+    _run(tmp_path, "b.json", "--ledger", str(ledger), "--throttle-fpga", "0.8")
+    capsys.readouterr()
+    out_file = tmp_path / "figs.txt"
+    rc = main(
+        [
+            "campaign", "figures", "--manifest", str(path),
+            "--ledger", str(ledger), "--out", str(out_file),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign makespan distributions" in out
+    assert "campaign makespan timeline" in out  # two ledger runs
+    assert "lu@xd1/nominal" in out
+    assert "campaign makespan distributions" in out_file.read_text()
+    assert main(["campaign", "figures"]) == 2  # neither source given
 
 
 def test_campaign_check_json_output(tmp_path, capsys):

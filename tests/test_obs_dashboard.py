@@ -137,7 +137,7 @@ def _campaign_entry(seq=20, preset="xd1", median=100.0, samples=None):
     samples = samples if samples is not None else [99.0, 100.0, 101.0]
     return {
         "kind": "campaign",
-        "schema": 4,
+        "schema": 5,
         "seq": seq,
         "preset": preset,
         "replicates": len(samples),
@@ -165,7 +165,7 @@ def _campaign_entry(seq=20, preset="xd1", median=100.0, samples=None):
 def _check_entry(seq=30, verdict="fail"):
     return {
         "kind": "campaign_check",
-        "schema": 4,
+        "schema": 5,
         "seq": seq,
         "verdict": verdict,
         "alpha": 0.05,
@@ -201,6 +201,83 @@ def test_render_ascii_campaign_check_section():
 def test_render_ascii_without_campaigns_has_no_campaign_section():
     out = render_ascii([_entry(efficiency=0.95)], band=0.85)
     assert "campaign" not in out
+
+
+def _explain_ledger_entry(seq=40, cell="lu@xd1/nominal", verdict="model"):
+    return {
+        "kind": "explain",
+        "schema": 5,
+        "seq": seq,
+        "cell": cell,
+        "app": "lu",
+        "verdict": verdict,
+        "top_blame": "fpga",
+        "explain": {
+            "kind": "explain",
+            "cell": cell,
+            "replicate": 2,
+            "verdict": verdict,
+            "top_term": "FPGA compute T_f (Eqs. 1, 2, 4, 6)",
+            "delta": {"makespan_s": 21.5, "relative": 0.215},
+            "blame": [
+                {
+                    "resource": "fpga",
+                    "delta_s": 20.0,
+                    "share": 0.93,
+                    "term": "FPGA compute T_f (Eqs. 1, 2, 4, 6)",
+                },
+                {"resource": "cpu", "delta_s": 1.5, "share": 0.07, "term": "CPU compute"},
+            ],
+        },
+    }
+
+
+def _workers_block(mode="parallel"):
+    return {
+        "executor": {
+            "mode": mode,
+            "workers": 2,
+            "tasks": 8,
+            "chunks": 4,
+            "elapsed_s": 0.25,
+            "per_worker": [
+                {"worker": 0, "pid": 10, "chunks": 2, "tasks": 4, "busy_s": 0.10},
+                {"worker": 1, "pid": 11, "chunks": 2, "tasks": 4, "busy_s": 0.21},
+            ],
+            "queue_wait_s": {"max": 0.02, "mean": 0.01},
+            "imbalance": 1.35,
+            "stragglers": [1],
+        },
+        "cache": {"lookups": 8, "hits": 6, "misses": 2},
+        "cache_hit_rate": 0.75,
+    }
+
+
+def test_render_ascii_explain_panel():
+    older = _explain_ledger_entry(seq=40, verdict="inconclusive")
+    newer = _explain_ledger_entry(seq=41)  # same cell: newest wins
+    out = render_ascii([_campaign_entry(), older, newer], band=0.85)
+    assert "regression explanations (latest explain per cell):" in out
+    assert "lu@xd1/nominal: verdict model  delta +21.5s (+21.50%)" in out
+    assert "blame fpga  +20s (share 93%)  FPGA compute T_f (Eqs. 1, 2, 4, 6)" in out
+    assert "inconclusive" not in out
+
+
+def test_render_ascii_worker_panel():
+    entry = dict(_campaign_entry(), workers=_workers_block())
+    out = render_ascii([entry], band=0.85)
+    assert "sweep worker telemetry (latest campaign):" in out
+    assert "mode parallel  workers 2  tasks 8  chunks 4" in out
+    assert "stragglers: w1" in out
+
+
+def test_render_html_explain_and_worker_sections():
+    entry = dict(_campaign_entry(), workers=_workers_block())
+    html = render_html([entry, _explain_ledger_entry()], band=0.85)
+    assert "Regression explanations" in html
+    assert "Sweep worker telemetry" in html
+    assert "FPGA compute T_f" in html
+    assert "Explaining regressions" in html  # doc cross-link
 
 
 def test_render_html_campaign_tables():

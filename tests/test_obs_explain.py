@@ -1,0 +1,184 @@
+"""Tests for the pure blame-diff layer (repro.obs.explain) plus the
+trace/critical-path reductions it consumes (by_phase, busy_by_class)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.critical_path import MODEL_TERMS, classify_label, critical_path
+from repro.obs.explain import (
+    DEFAULT_MIN_DELTA,
+    EXPLAIN_SCHEMA,
+    blame_resources,
+    build_explain,
+    lane_deltas,
+    phase_deltas,
+    render_explain,
+)
+from repro.sim.trace import Trace
+
+
+# -------------------------------------------------------------- blame rows
+
+
+def test_blame_resources_ranks_by_delta_descending():
+    rows = blame_resources(
+        {"fpga": 10.0, "cpu": 5.0, "net": 2.0},
+        {"fpga": 14.0, "cpu": 6.0, "net": 1.0},
+    )
+    assert [r["resource"] for r in rows] == ["fpga", "cpu", "net"]
+    assert rows[0]["delta_s"] == 4.0
+    assert rows[0]["term"] == MODEL_TERMS["fpga"]
+
+
+def test_blame_shares_split_the_positive_delta():
+    rows = blame_resources({"fpga": 10.0, "cpu": 5.0}, {"fpga": 13.0, "cpu": 6.0})
+    by_res = {r["resource"]: r for r in rows}
+    assert by_res["fpga"]["share"] == 0.75  # 3 of 4 grown seconds
+    assert by_res["cpu"]["share"] == 0.25
+    shrunk = blame_resources({"fpga": 10.0}, {"fpga": 9.0})
+    assert shrunk[0]["share"] is None  # shrank: no share of the growth
+
+
+def test_blame_handles_resources_on_one_side_only():
+    rows = blame_resources({"cpu": 5.0}, {"fpga": 3.0})
+    by_res = {r["resource"]: r for r in rows}
+    assert by_res["fpga"]["baseline_s"] == 0.0
+    assert by_res["fpga"]["delta_s"] == 3.0
+    assert by_res["cpu"]["delta_s"] == -5.0
+
+
+def test_blame_ties_break_by_resource_name():
+    rows = blame_resources({"a": 1.0, "b": 1.0}, {"a": 2.0, "b": 2.0})
+    assert [r["resource"] for r in rows] == ["a", "b"]
+
+
+def test_phase_deltas_cover_both_sides_sorted():
+    out = phase_deltas({"compute": 4.0, "staging": 1.0}, {"compute": 5.0, "stall": 2.0})
+    assert list(out) == ["compute", "staging", "stall"]
+    assert out["compute"]["delta_s"] == 1.0
+    assert out["staging"]["delta_s"] == -1.0
+    assert out["stall"] == {"baseline_s": 0.0, "current_s": 2.0, "delta_s": 2.0}
+
+
+def test_lane_deltas_rank_by_magnitude_and_truncate():
+    base = {f"fpga{i}": 1.0 for i in range(8)}
+    cur = dict(base, fpga3=4.0, fpga1=0.5, fpga5=1.1)
+    rows = lane_deltas(base, cur, top=2)
+    assert [r["lane"] for r in rows] == ["fpga3", "fpga1"]  # |+3| then |-0.5|
+    assert rows[0]["delta_s"] == 3.0
+
+
+# ------------------------------------------------------------- manifests
+
+
+def _run(makespan, by_resource, lanes=None, by_phase=None, activity=None):
+    return {
+        "makespan": makespan,
+        "critical_path": {
+            "makespan": makespan,
+            "dominant": max(by_resource, key=by_resource.get),
+            "dominant_fraction": 0.9,
+            "coverage": 0.95,
+            "by_resource": by_resource,
+            "by_phase": by_phase or {},
+        },
+        "lanes": lanes or {},
+        "activity": activity or {},
+    }
+
+
+def _explain(base_mk=100.0, cur_mk=110.0, **kwargs):
+    return build_explain(
+        cell="lu@xd1/nominal",
+        app="lu",
+        preset="xd1",
+        scenario_name="nominal",
+        replicate=2,
+        seeds={"baseline": 11, "current": 11},
+        baseline=_run(base_mk, {"fpga": 60.0, "cpu": 30.0}),
+        current=_run(cur_mk, {"fpga": 70.0, "cpu": 30.0}),
+        **kwargs,
+    )
+
+
+def test_build_explain_blames_the_grown_resource():
+    manifest = _explain()
+    assert manifest["kind"] == "explain"
+    assert manifest["explain_schema"] == EXPLAIN_SCHEMA
+    assert manifest["verdict"] == "model"
+    assert manifest["top_blame"] == "fpga"
+    assert manifest["top_term"] == MODEL_TERMS["fpga"]
+    assert manifest["delta"]["makespan_s"] == 10.0
+    assert manifest["delta"]["relative"] == 0.1
+    assert manifest["blame"][0]["resource"] == "fpga"
+
+
+def test_build_explain_verdicts():
+    assert _explain(100.0, 100.2)["verdict"] == "inconclusive"  # < noise floor
+    assert _explain(100.0, 90.0)["verdict"] == "improvement"
+    assert DEFAULT_MIN_DELTA == 0.005
+
+
+def test_build_explain_embeds_check_context():
+    manifest = _explain(
+        check={"p_value": 0.01, "median_shift": 0.1, "verdict": "fail", "note": "x"}
+    )
+    assert manifest["check"]["p_value"] == 0.01
+    assert manifest["check"]["verdict"] == "fail"
+
+
+def test_build_explain_is_json_able_and_deterministic():
+    a = json.dumps(_explain(), sort_keys=True)
+    b = json.dumps(_explain(), sort_keys=True)
+    assert a == b
+
+
+def test_render_explain_names_the_blamed_term():
+    text = render_explain(_explain())
+    assert "explain lu@xd1/nominal (replicate 2, scenario nominal):" in text
+    assert "verdict: model" in text
+    assert f"-> blame fpga: {MODEL_TERMS['fpga']}" in text
+
+
+def test_render_explain_inconclusive_points_at_telemetry():
+    text = render_explain(_explain(100.0, 100.1))
+    assert "inconclusive" in text
+    assert "worker telemetry" in text
+
+
+# ---------------------------------------------- trace-side reductions
+
+
+def _toy_trace():
+    tr = Trace()
+    tr.record("cpu0", "op:dgetrf step=0", 0.0, 2.0)
+    tr.record("fpga0", "opMS step=0", 2.0, 6.0)
+    tr.record("net", "mpi:bcast step=0", 6.0, 7.0)
+    tr.record("dram0", "stage:load step=1", 6.0, 6.5)
+    return tr
+
+
+def test_busy_by_class_merges_within_lane_and_sums_across():
+    tr = Trace()
+    tr.record("fpga0", "opMS a", 0.0, 2.0)
+    tr.record("fpga0", "opMS b", 1.0, 3.0)  # overlaps on the same lane: merged
+    tr.record("fpga1", "opMS c", 0.0, 1.0)  # second lane: summed
+    busy = tr.busy_by_class(classify_label)
+    assert busy == {"compute": 4.0}
+
+
+def test_busy_by_class_orders_classes_by_busy_time():
+    busy = _toy_trace().busy_by_class(classify_label)
+    assert list(busy) == ["compute", "communication", "staging"]
+    assert busy["compute"] == 6.0
+    assert busy["communication"] == 1.0
+    assert busy["staging"] == 0.5
+
+
+def test_critical_path_by_phase_includes_stall_and_serialises():
+    report = critical_path(_toy_trace())
+    phases = report.by_phase
+    assert sum(phases.values()) > 0
+    assert set(phases) <= {"compute", "communication", "staging", "stall"}
+    assert report.to_dict()["by_phase"] == phases

@@ -44,7 +44,7 @@ def test_append_assigns_schema_seq_ts(tmp_path):
     ledger = RunLedger(tmp_path / "ledger.jsonl")
     first = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
     second = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
-    assert first["schema"] == LEDGER_SCHEMA == 4
+    assert first["schema"] == LEDGER_SCHEMA == 5
     assert (first["seq"], second["seq"]) == (1, 2)
     assert first["ts"].endswith("Z")
     # seq survives a fresh RunLedger over the same file
@@ -238,7 +238,7 @@ def test_fault_run_entry_builds_schema3_manifest(tmp_path):
     assert entry["note"] == "campaign 1"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 4
+    assert appended["schema"] == LEDGER_SCHEMA == 5
     (back,) = ledger.entries(kind="fault_run")
     assert back["attribution"]["term"] == "t_comm"
 
@@ -253,8 +253,8 @@ def test_fault_run_entry_validates_required_fields():
 
 
 def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
-    """Schema-2 and schema-3 entries written by older code still load,
-    list, resolve and diff after the schema-4 (campaign) bump."""
+    """Schema-2, -3 and -4 entries written by older code still load,
+    list, resolve and diff after the schema-5 (explain) bump."""
     from repro.obs import fault_run_entry, render_diff
 
     path = tmp_path / "l.jsonl"
@@ -269,22 +269,27 @@ def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
         fault_run_entry(_fault_result(), git_sha="mid"),
         schema=3, seq=2, ts="2026-02-01T00:00:00Z",
     )
+    schema4 = dict(
+        fault_run_entry(_fault_result(), git_sha="mid2"),
+        schema=4, seq=3, ts="2026-03-01T00:00:00Z",
+    )
     path.write_text(
         json.dumps(schema2, sort_keys=True) + "\n"
-        + json.dumps(schema3, sort_keys=True) + "\n",
+        + json.dumps(schema3, sort_keys=True) + "\n"
+        + json.dumps(schema4, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     ledger = RunLedger(path)
     new = ledger.append(fault_run_entry(_fault_result(), git_sha="new"))
     entries = ledger.entries()
-    assert [e["schema"] for e in entries] == [2, 3, 4]
-    assert new["seq"] == 3  # seq continues across the schema bump
+    assert [e["schema"] for e in entries] == [2, 3, 4, 5]
+    assert new["seq"] == 4  # seq continues across the schema bump
     assert render_diff(entries[0], entries[1])  # mixed-kind diff renders
-    assert render_diff(entries[1], entries[2])  # schema 3 vs 4 diff renders
+    assert render_diff(entries[2], entries[3])  # schema 4 vs 5 diff renders
     assert ledger.entries(kind="design_run") == [entries[0]]
     assert ledger.entries(kind="fault_run") == entries[1:]
     assert ledger.resolve(1)["schema"] == 2
-    assert ledger.resolve("latest")["schema"] == 4
+    assert ledger.resolve("latest")["schema"] == 5
 
 
 # ------------------------------------------------- schema 4 / campaigns
@@ -327,7 +332,7 @@ def test_campaign_entry_builds_schema4_manifest(tmp_path):
     assert entry["note"] == "nightly"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 4
+    assert appended["schema"] == LEDGER_SCHEMA == 5
     (back,) = ledger.entries(kind="campaign")
     assert back["cells"] == entry["cells"]
 
@@ -379,3 +384,87 @@ def test_ledger_ts_env_override(tmp_path, monkeypatch):
     ledger = RunLedger(tmp_path / "l.jsonl")
     entry = ledger.append(experiments_entry([("fig5", True)], git_sha="abc"))
     assert entry["ts"] == "1970-01-01T00:00:00Z"
+
+
+# ------------------------------------------------ schema 5 / explanations
+
+
+def _explain_manifest():
+    """A minimal build_explain()-shaped manifest."""
+    return {
+        "kind": "explain",
+        "explain_schema": 1,
+        "cell": "lu@xd1/nominal",
+        "app": "lu",
+        "preset": "xd1",
+        "scenario_name": "nominal",
+        "replicate": 2,
+        "seeds": {"baseline": 11, "current": 11},
+        "delta": {"makespan_s": 2.9, "relative": 0.0247},
+        "blame": [
+            {"resource": "fpga", "baseline_s": 100.0, "current_s": 102.9,
+             "delta_s": 2.9, "share": 1.0,
+             "term": "FPGA compute T_f (Eqs. 1, 2, 4, 6)"},
+        ],
+        "top_blame": "fpga",
+        "top_term": "FPGA compute T_f (Eqs. 1, 2, 4, 6)",
+        "verdict": "model",
+    }
+
+
+def test_explain_entry_builds_schema5_manifest(tmp_path):
+    from repro.obs import explain_entry
+
+    entry = explain_entry(_explain_manifest(), git_sha="abc", note="ci")
+    assert entry["kind"] == "explain"
+    assert entry["cell"] == "lu@xd1/nominal"
+    assert entry["app"] == "lu"
+    assert entry["verdict"] == "model"
+    assert entry["top_blame"] == "fpga"
+    assert entry["explain"]["blame"][0]["delta_s"] == 2.9
+    assert entry["note"] == "ci"
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    appended = ledger.append(entry)
+    assert appended["schema"] == LEDGER_SCHEMA == 5
+    (back,) = ledger.entries(kind="explain")
+    assert back["explain"] == entry["explain"]
+
+
+def test_explain_entry_validates_manifest():
+    from repro.obs import explain_entry
+
+    with pytest.raises(LedgerError, match="not an explain manifest"):
+        explain_entry({"kind": "campaign"})
+    with pytest.raises(LedgerError, match="blame"):
+        explain_entry({"kind": "explain", "cell": "x", "verdict": "model"})
+
+
+def test_campaign_entry_carries_workers_telemetry(tmp_path):
+    from repro.obs import campaign_entry
+
+    workers = {
+        "executor": {"mode": "parallel", "workers": 2, "tasks": 8, "chunks": 8},
+        "cache": {"lookups": 8, "hits": 4, "misses": 4, "puts": 4, "evictions": 0},
+        "cache_hit_rate": 0.5,
+    }
+    entry = campaign_entry(_campaign_manifest(), workers=workers)
+    assert entry["workers"]["executor"]["workers"] == 2
+    # The embedded manifest stays telemetry-free (bitwise-deterministic).
+    assert "workers" not in entry["cells"]["lu@xd1/nominal"]
+    no_telemetry = campaign_entry(_campaign_manifest())
+    assert "workers" not in no_telemetry
+    empty = campaign_entry(_campaign_manifest(), workers={})
+    assert "workers" not in empty
+
+
+def test_old_reader_rejects_schema5_explain_lines(tmp_path, monkeypatch):
+    """A schema-4 reader must refuse schema-5 lines loudly, not misread
+    them."""
+    import repro.obs.ledger as ledger_mod
+    from repro.obs import explain_entry
+
+    path = tmp_path / "l.jsonl"
+    RunLedger(path).append(explain_entry(_explain_manifest(), git_sha="x"))
+    monkeypatch.setattr(ledger_mod, "LEDGER_SCHEMA", 4)
+    with pytest.raises(LedgerError, match="unsupported ledger schema"):
+        RunLedger(path).entries()

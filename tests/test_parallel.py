@@ -229,7 +229,10 @@ def test_run_chunk_round_trips_protocol5():
     blob = _run_chunk(_square, [2, 3, 4])
     assert isinstance(blob, bytes)
     assert blob[1] == 5  # pickle protocol-5 frame
-    assert pickle.loads(blob) == [4, 9, 16]
+    payload = pickle.loads(blob)
+    assert payload["results"] == [4, 9, 16]
+    assert payload["pid"] == os.getpid()
+    assert payload["start"] <= payload["end"]
 
 
 def test_parallel_results_bitwise_equal_serial_floats():
@@ -328,3 +331,44 @@ def test_cache_mirrors_counters_into_registry(tmp_path):
     cache.get({"y": 1})
     assert count("cache.hits") == hits0 + 1
     assert count("cache.misses") == misses0 + 1
+
+
+def test_serial_map_records_telemetry():
+    ex = SweepExecutor(jobs=1)
+    ex.map(_square, [1.0, 2.0, 3.0])
+    t = ex.last_telemetry
+    assert t["mode"] == "serial"
+    assert t["workers"] == 1
+    assert t["tasks"] == 3
+    assert t["elapsed_s"] >= 0
+
+
+def test_parallel_map_records_worker_telemetry():
+    with SweepExecutor(jobs=2) as ex:
+        ex.map(_square, [v / 3.0 for v in range(24)])
+        t = ex.last_telemetry
+    assert t["mode"] == "parallel"
+    assert t["workers"] == 2
+    assert t["tasks"] == 24
+    assert t["chunks"] >= 2
+    assert sum(w["tasks"] for w in t["per_worker"]) == 24
+    assert sum(w["chunks"] for w in t["per_worker"]) == t["chunks"]
+    for w in t["per_worker"]:
+        assert w["busy_s"] >= 0
+    assert t["queue_wait_s"]["max"] >= t["queue_wait_s"]["mean"] >= 0
+    assert t["imbalance"] >= 1.0
+    assert all(isinstance(i, int) for i in t["stragglers"])
+
+
+def test_fold_telemetry_flags_stragglers_and_imbalance():
+    ex = SweepExecutor(jobs=1)
+    spans = [
+        {"pid": 10, "start": 0.0, "end": 1.0, "queue_wait": 0.1, "tasks": 4},
+        {"pid": 11, "start": 0.0, "end": 1.0, "queue_wait": 0.0, "tasks": 4},
+        {"pid": 12, "start": 0.0, "end": 5.0, "queue_wait": 0.3, "tasks": 4},
+    ]
+    t = ex._fold_telemetry(3, 12, spans, elapsed=5.0)
+    assert t["stragglers"] == [2]  # pid 12, 5x the median busy time
+    assert t["imbalance"] == pytest.approx(5.0 / (7.0 / 3.0))
+    assert t["queue_wait_s"]["max"] == pytest.approx(0.3)
+    assert t["queue_wait_s"]["mean"] == pytest.approx(0.4 / 3)
