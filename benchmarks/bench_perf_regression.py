@@ -1,10 +1,11 @@
-"""Performance-regression tracker: DES, sweep, and campaign throughput.
+"""Performance-regression tracker: DES, sweep, campaign, and tuner.
 
 Times the hot paths this repo optimises -- the discrete-event simulator
 core, the experiment sweep engine, and the replicated campaign harness
--- and writes the numbers to ``BENCH_perf.json`` at the repo root so
-successive runs can be compared (see docs/performance.md for reference
-numbers and what a regression looks like).
+-- plus the guided autotuner's search efficiency, and writes the
+numbers to ``BENCH_perf.json`` at the repo root so successive runs can
+be compared (see docs/performance.md for reference numbers and what a
+regression looks like).
 
 Run:  python benchmarks/bench_perf_regression.py [--jobs N] [--rounds R] [--quick]
 
@@ -12,7 +13,10 @@ Run:  python benchmarks/bench_perf_regression.py [--jobs N] [--rounds R] [--quic
 disabled -- no monitor attached, the default) and fails if any falls
 more than ``--tolerance`` (default 2%) below the recorded baseline.
 This is the guard that keeps the observability layer's no-op path off
-the simulator's hot loop.
+the simulator's hot loop.  ``--check-tune`` gates the guided search's
+efficiency contract: within 2% of the exhaustive optimum at <= 25% of
+the exhaustive full-fidelity evaluations (docs/performance.md,
+"Guided search").
 """
 
 from __future__ import annotations
@@ -340,6 +344,93 @@ def check_campaign(baseline_path: Path, tolerance: float = CAMPAIGN_TOLERANCE) -
     return 0
 
 
+# -----------------------------------------------------------------------
+# Tuner search efficiency: guided vs exhaustive full-fidelity evals
+# -----------------------------------------------------------------------
+
+#: Allowed incumbent shortfall vs the exhaustive full-fidelity optimum.
+TUNE_GAP = 0.02
+
+#: Maximum fraction of the exhaustive DES evaluations the guided search
+#: may spend (the "<= 25% of the sweep" headline claim).
+TUNE_BUDGET_FRACTION = 0.25
+
+
+def bench_tune() -> dict:
+    """Guided-search efficiency on the fig5 b_f grid (cold cache, serial).
+
+    Runs the successive-halving tuner over the paper's Figure 5 (b, f)
+    grid for LU block-matrix-multiply on XD1, then the exhaustive
+    full-fidelity sweep of the same space, and reports how close the
+    incumbent landed to the exhaustive optimum and what fraction of the
+    exhaustive DES evaluations the guided search spent to get there.
+    """
+    from repro.tune import (
+        TuneSpec,
+        named_space,
+        objectives_for,
+        point_task,
+        run_tune,
+        run_tune_task,
+    )
+
+    space = named_space("fig5-bf")
+    t0 = time.perf_counter()
+    manifest = run_tune(TuneSpec(space=space, seed=0), jobs=1, cache=False)
+    elapsed = time.perf_counter() - t0
+    exhaustive_best = max(
+        objectives_for(space, pt, run_tune_task(point_task(space, pt, "des")))["gflops"]
+        for pt in space.points()
+    )
+    incumbent = manifest["incumbent"]["objectives"]["gflops"]
+    return {
+        "space": "fig5-bf",
+        "space_size": manifest["space"]["size"],
+        "des_budget": manifest["budget"]["des"],
+        "des_used": manifest["budget"]["des_used"],
+        "exhaustive_des": manifest["exhaustive_des"],
+        "fraction_of_exhaustive": manifest["savings"]["fraction_of_exhaustive"],
+        "incumbent_gflops": incumbent,
+        "exhaustive_best_gflops": exhaustive_best,
+        "optimality_gap": (exhaustive_best - incumbent) / exhaustive_best,
+        "elapsed_s": elapsed,
+    }
+
+
+def check_tune() -> int:
+    """Assert the guided search meets its efficiency contract.
+
+    Unlike the throughput checks this gate is deterministic (tuner and
+    DES are both seeded), so it asserts the absolute claim rather than
+    drift against a recorded figure: the fig5-bf incumbent must land
+    within ``TUNE_GAP`` of the exhaustive optimum while spending at
+    most ``TUNE_BUDGET_FRACTION`` of the exhaustive DES evaluations.
+    Returns 0 on pass, 1 when either bound is broken.
+    """
+    figure = bench_tune()
+    gap = figure["optimality_gap"]
+    frac = figure["fraction_of_exhaustive"]
+    ok = gap <= TUNE_GAP and frac <= TUNE_BUDGET_FRACTION
+    print(
+        f"tune/{figure['space']} {figure['des_used']}/{figure['exhaustive_des']} "
+        f"DES evals ({frac:.1%} of exhaustive), incumbent "
+        f"{figure['incumbent_gflops']:.2f} vs exhaustive "
+        f"{figure['exhaustive_best_gflops']:.2f} GFLOPS "
+        f"(gap {gap:.2%}) {'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        print(
+            f"guided-search efficiency broken: need gap <= {TUNE_GAP:.0%} at "
+            f"<= {TUNE_BUDGET_FRACTION:.0%} of exhaustive DES evals"
+        )
+        return 1
+    print(
+        f"guided search within {TUNE_GAP:.0%} of the exhaustive optimum at "
+        f"{frac:.1%} of its cost"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -378,6 +469,13 @@ def main(argv: list[str] | None = None) -> int:
         f"points/s lands > {CAMPAIGN_TOLERANCE:.0%} below the baseline",
     )
     parser.add_argument(
+        "--check-tune",
+        action="store_true",
+        help="assert the guided search lands within "
+        f"{TUNE_GAP:.0%} of the exhaustive optimum at <= "
+        f"{TUNE_BUDGET_FRACTION:.0%} of the exhaustive DES evals",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.02,
@@ -392,7 +490,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.check_baseline or args.check_sweep or args.check_campaign:
+    if args.check_baseline or args.check_sweep or args.check_campaign or args.check_tune:
         rc = 0
         if args.check_baseline:
             rc = check_baseline(args.output, args.rounds, args.tolerance, ledger=args.ledger)
@@ -400,6 +498,8 @@ def main(argv: list[str] | None = None) -> int:
             rc = max(rc, check_sweep(args.output))
         if args.check_campaign:
             rc = max(rc, check_campaign(args.output))
+        if args.check_tune:
+            rc = max(rc, check_tune())
         return rc
 
     scale = 10 if args.quick else 1
@@ -433,14 +533,22 @@ def main(argv: list[str] | None = None) -> int:
         f"{campaign['elapsed_s']:.2f}s = {campaign['points_per_s']:.1f} points/s"
     )
 
+    tune = bench_tune()
+    print(
+        f"tune/{tune['space']} {tune['des_used']}/{tune['exhaustive_des']} DES evals "
+        f"({tune['fraction_of_exhaustive']:.1%} of exhaustive), gap "
+        f"{tune['optimality_gap']:.2%} in {tune['elapsed_s']:.2f}s"
+    )
+
     report = {
-        "schema": 3,
+        "schema": 4,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": args.quick,
         "des_events_per_s": des,
         "sweeps": sweeps,
         "campaign": campaign,
+        "tune": tune,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")

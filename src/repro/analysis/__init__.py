@@ -8,7 +8,7 @@ from .export import (
     series_to_csv,
     series_to_json,
 )
-from .figures import bar_chart, box_plot, line_chart
+from .figures import bar_chart, box_plot, line_chart, pareto_plot
 from .report import comparison_row, percent, table
 from .scaling import (
     ScalingPoint,
@@ -28,6 +28,7 @@ __all__ = [
     "box_plot",
     "comparison_row",
     "line_chart",
+    "pareto_plot",
     "percent",
     "rows_to_csv",
     "series_from_csv",

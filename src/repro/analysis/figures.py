@@ -11,7 +11,7 @@ from typing import Iterable, Optional, Sequence
 
 from .series import Series
 
-__all__ = ["line_chart", "bar_chart", "box_plot"]
+__all__ = ["line_chart", "bar_chart", "box_plot", "pareto_plot"]
 
 
 def _fmt(value: float) -> str:
@@ -84,6 +84,60 @@ def bar_chart(
     for lab, val in zip(labels, values):
         bar = "#" * max(1, int(val / vmax * width)) if val > 0 else ""
         lines.append(f"{lab:>{label_w}} |{bar:<{width}} {_fmt(val)}{unit}")
+    return "\n".join(lines)
+
+
+def pareto_plot(
+    points: Sequence[tuple[float, float]],
+    front: Sequence[tuple[float, float]],
+    title: str,
+    height: int = 12,
+    width: int = 56,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a design-space scatter with its Pareto front highlighted.
+
+    ``points`` are (x, y) pairs for every evaluated design; ``front``
+    are the non-dominated ones (drawn last, as ``*``, over the ``.``
+    field).  The tuner's front figure: x = FPGA slice utilisation,
+    y = GFLOPS.
+    """
+    if not points and not front:
+        return f"{title}\n(no data)"
+    all_pts = list(points) + list(front)
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(pts: Iterable[tuple[float, float]], mark: str) -> None:
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    plot(points, ".")
+    plot(front, "*")
+    lines = [title]
+    if y_label:
+        lines.append(f"  [{y_label}]")
+    label_w = max(len(_fmt(y_hi)), len(_fmt(y_lo)))
+    for r, row in enumerate(grid):
+        tick = _fmt(y_hi) if r == 0 else (_fmt(y_lo) if r == height - 1 else "")
+        lines.append(f"{tick:>{label_w}} |{''.join(row)}|")
+    lines.append(
+        f"{'':>{label_w}}  {_fmt(x_lo)}"
+        f"{'':{max(1, width - len(_fmt(x_lo)) - len(_fmt(x_hi)))}}{_fmt(x_hi)}"
+    )
+    if x_label:
+        lines.append(f"{'':>{label_w}}  [{x_label}]")
+    lines.append(f"{'':>{label_w}}  * = Pareto-optimal   . = dominated")
     return "\n".join(lines)
 
 

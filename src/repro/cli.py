@@ -36,9 +36,16 @@ Replicated statistical campaigns under ``repro-xd1 campaign``::
     campaign check --baseline base.json --manifest campaign.json [--explain]
     campaign figures --manifest campaign.json       # box plots (+ timeline)
 
+Guided design-space search under ``repro-xd1 tune``::
+
+    tune run --space fig5-bf --out tune.json --ledger L
+    tune run --kind block_mm --fixed b=3000 --axis b_f=0:3000:200 --axis k=2,4,6,8
+    tune report --manifest tune.json                # or --ledger L
+
 Schemas: docs/observability.md; fault scenarios and policies:
-docs/robustness.md.  All output goes through one BrokenPipe-safe
-writer, so ``repro-xd1 ... | head`` never stack-traces.
+docs/robustness.md; the guided search: docs/performance.md ("Guided
+search").  All output goes through one BrokenPipe-safe writer, so
+``repro-xd1 ... | head`` never stack-traces.
 """
 
 from __future__ import annotations
@@ -341,7 +348,7 @@ def main(argv: list[str] | None = None) -> int:
     ochk.add_argument("--app", default=None, help="only check this app's reports")
     ochk.set_defaults(fn=_cmd_obs_check)
 
-    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 5)")
+    led = obs_sub.add_parser("ledger", help="the append-only run ledger (schema 6)")
     led_sub = led.add_subparsers(dest="ledger_command", required=True)
 
     lrec = led_sub.add_parser("record", help="append manifests for a recorded run")
@@ -541,6 +548,58 @@ def main(argv: list[str] | None = None) -> int:
     cfig.add_argument("--out", default=None, metavar="PATH",
                       help="also write the figures to a text file")
     cfig.set_defaults(fn=_cmd_campaign_figures)
+
+    tun = sub.add_parser(
+        "tune", help="guided design-space search (successive halving + Pareto)"
+    )
+    tun_sub = tun.add_subparsers(dest="tune_command", required=True)
+
+    trun = tun_sub.add_parser(
+        "run", help="analytic rung -> DES on survivors -> local refinement"
+    )
+    trun.add_argument("--space", default=None, metavar="NAME",
+                      help="named search space: fig5-bf, fw-split, lu-bf-l, "
+                           "mm-codesign (exclusive with --kind/--fixed/--axis)")
+    trun.add_argument("--kind", default=None, choices=("block_mm", "lu", "fw"),
+                      help="workload kind for an ad-hoc space")
+    trun.add_argument("--machine", default="xd1", help="machine preset (default xd1)")
+    trun.add_argument("--fixed", action="append", metavar="NAME=VALUE",
+                      help="pin one parameter (repeatable), e.g. --fixed b=3000")
+    trun.add_argument("--axis", action="append", metavar="NAME=LO:HI:STEP",
+                      help="search axis (repeatable): name=lo:hi:step inclusive, "
+                           "or name=v1,v2,...")
+    trun.add_argument("--seed", default=None,
+                      help="master seed (default: $REPRO_SEED, else 0)")
+    trun.add_argument("--eta", type=int, default=4,
+                      help="keep the top 1/eta of the analytic rung (default 4)")
+    trun.add_argument("--budget", type=int, default=None,
+                      help="full-fidelity DES evaluation cap "
+                           "(default: a quarter of the space)")
+    trun.add_argument("--refine", type=int, default=1,
+                      help="local-refinement neighbourhood radius; 0 disables")
+    trun.add_argument("--resilience", default=None, metavar="SCENARIO",
+                      help="also score DES survivors under this fault scenario "
+                           "(adds the resilience Pareto objective)")
+    trun.add_argument("--resilience-keep", type=int, default=2,
+                      help="how many survivors to score under faults (default 2)")
+    trun.add_argument("--jobs", default=None,
+                      help="worker processes (int or 'auto'; default: $REPRO_PARALLEL)")
+    trun.add_argument("--cache", default=None,
+                      help="result-cache directory ('off' disables; default: $REPRO_CACHE)")
+    trun.add_argument("--out", default=None, metavar="PATH",
+                      help="write the tune manifest as JSON")
+    trun.add_argument("--ledger", default=None, metavar="PATH",
+                      help="append a 'tune' manifest to this run ledger")
+    trun.add_argument("--json", action="store_true", help="emit the manifest as JSON")
+    trun.set_defaults(fn=_cmd_tune_run)
+
+    trep = tun_sub.add_parser("report", help="render a recorded tune manifest")
+    trep.add_argument("--manifest", default=None, metavar="PATH",
+                      help="tune manifest JSON (from 'tune run --out')")
+    trep.add_argument("--ledger", default=None, metavar="PATH",
+                      help="read the latest 'tune' entry from this ledger")
+    trep.add_argument("--json", action="store_true", help="emit the manifest as JSON")
+    trep.set_defaults(fn=_cmd_tune_report)
 
     args = parser.parse_args(argv)
     _p.reset()
@@ -1183,6 +1242,112 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         _p(f"FAILED checks in: {failed}")
         return 1
     _p("All reproduction checks passed.")
+    return 0
+
+
+def _tune_space_from_args(args: argparse.Namespace):
+    """The search space named by ``--space`` or built from ``--kind`` flags."""
+    from .tune import SearchSpace, named_space, parse_axis
+
+    if args.space:
+        if args.kind or args.fixed or args.axis:
+            raise ValueError("--space is exclusive with --kind/--fixed/--axis")
+        return named_space(args.space)
+    if not args.kind:
+        raise ValueError("pass --space NAME, or --kind with --axis (and --fixed)")
+    fixed = {}
+    for item in args.fixed or []:
+        name, values = parse_axis(item)
+        if len(values) != 1:
+            raise ValueError(f"--fixed {item!r} must pin exactly one value")
+        fixed[name] = values[0]
+    axes = dict(parse_axis(item) for item in args.axis or [])
+    if not axes:
+        raise ValueError("at least one --axis is required for an ad-hoc space")
+    return SearchSpace(kind=args.kind, machine=args.machine, fixed=fixed, axes=axes)
+
+
+def _cmd_tune_run(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .campaign import resolve_seed
+    from .tune import TuneSpec, render_tune, run_tune, write_manifest
+
+    try:
+        spec = TuneSpec(
+            space=_tune_space_from_args(args),
+            seed=resolve_seed(args.seed),
+            eta=args.eta,
+            budget=args.budget,
+            refine=args.refine,
+            resilience=args.resilience,
+            resilience_keep=args.resilience_keep,
+        )
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    cache = args.cache
+    if cache is not None and cache.strip().lower() in ("", "off", "0", "none", "false"):
+        cache = False
+    telemetry: dict = {}
+    try:
+        manifest = run_tune(spec, jobs=args.jobs, cache=cache, telemetry=telemetry)
+    except ValueError as exc:
+        _p(f"error: {exc}")
+        return 2
+    if args.json:
+        _p(_json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        _p(render_tune(manifest))
+        if telemetry.get("executor"):
+            from .obs.dashboard import _worker_lines
+
+            _p("workers:")
+            for line in _worker_lines(telemetry):
+                _p(f"  {line}")
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_manifest(manifest, str(path))
+        _p(f"manifest written to {path}")
+    if args.ledger:
+        from .obs import RunLedger, tune_entry
+
+        ledger = RunLedger(args.ledger)
+        entry = ledger.append(
+            tune_entry(manifest, source="cli", workers=telemetry or None)
+        )
+        _p(f"recorded seq {entry['seq']}: tune manifest -> {ledger.path}")
+    return 0
+
+
+def _cmd_tune_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import LedgerError
+    from .tune import load_manifest, render_tune
+
+    try:
+        if args.manifest:
+            manifest = load_manifest(args.manifest)
+        elif args.ledger:
+            from .obs import RunLedger
+
+            entries = RunLedger(args.ledger).entries(kind="tune")
+            if not entries:
+                raise LedgerError(f"{args.ledger}: no tune entries")
+            manifest = entries[-1]
+        else:
+            _p("error: pass --manifest PATH or --ledger PATH")
+            return 2
+    except (OSError, ValueError, LedgerError) as exc:
+        _p(f"error: {exc}")
+        return 2
+    if args.json:
+        _p(_json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        _p(render_tune(manifest))
     return 0
 
 

@@ -10,13 +10,15 @@ Two renderers over the same ledger content:
   previous campaign plus the latest statistical check verdicts
   (``campaign`` / ``campaign_check`` entries), the latest regression
   explanation per cell (``explain`` entries: blame-ranked lane deltas
-  with their model terms), and the newest campaign's worker telemetry
-  (per-worker busy bars, queue waits, stragglers, cache hit rate);
+  with their model terms), the newest campaign's worker telemetry
+  (per-worker busy bars, queue waits, stragglers, cache hit rate), and
+  the guided-tuning panel: the latest ``tune`` entry per app x preset
+  with its incumbent, DES-eval savings and Pareto front;
 * :func:`render_html` -- a self-contained HTML page (inline CSS + SVG,
   no external assets or scripts) with the same content: a fidelity
   table with trend sparklines, per-resource critical-path bars, the
-  resilience table, and the campaign distribution / verdict / explain /
-  worker tables.
+  resilience table, the campaign distribution / verdict / explain /
+  worker tables, and the guided-tuning Pareto-front tables.
 
 Both are pure functions of the ledger entries so tests can pin them;
 the CLI front-end is ``repro-xd1 obs dashboard``.
@@ -114,6 +116,19 @@ def _latest_worker_telemetry(entries: list[dict[str, Any]]) -> Optional[dict]:
         if entry.get("kind") == "campaign" and isinstance(entry.get("workers"), dict):
             latest = entry["workers"]
     return latest
+
+
+def _latest_tunes(entries: list[dict[str, Any]]) -> dict[tuple[str, str], dict]:
+    """Newest ``tune`` entry per (app, preset) (schema 6), in ledger order."""
+    out: dict[tuple[str, str], dict] = {}
+    for entry in entries:
+        if entry.get("kind") == "tune" and entry.get("incumbent"):
+            out[(str(entry.get("app")), str(entry.get("preset")))] = entry
+    return out
+
+
+def _tune_point_label(point: dict[str, Any]) -> str:
+    return " ".join(f"{k}={point[k]}" for k in sorted(point))
 
 
 def _cell_drift(cell: dict, prev_cell: Optional[dict]) -> Optional[float]:
@@ -270,6 +285,51 @@ def render_ascii(entries: list[dict[str, Any]], band: float = DEFAULT_BAND) -> s
                         d=row.get("delta_s", 0.0),
                         share="" if share is None else f" (share {share:.0%})",
                         term=row.get("term", ""),
+                    )
+                )
+    tunes = _latest_tunes(entries)
+    if tunes:
+        lines.append("")
+        lines.append("guided tuning (latest tune run per app x preset):")
+        for (app, preset), entry in sorted(tunes.items()):
+            inc = entry.get("incumbent") or {}
+            obj = inc.get("objectives") or {}
+            budget = entry.get("budget") or {}
+            savings = entry.get("savings") or {}
+            frac = savings.get("fraction_of_exhaustive")
+            lines.append(
+                "  {app}@{preset}: incumbent {pt} -> {gf:.2f} GFLOPS, "
+                "{su:.1%} slices ({fid})".format(
+                    app=app,
+                    preset=preset,
+                    pt=_tune_point_label(inc.get("point") or {}),
+                    gf=obj.get("gflops", 0.0),
+                    su=obj.get("slice_utilisation", 0.0),
+                    fid=inc.get("fidelity", "?"),
+                )
+            )
+            lines.append(
+                "    DES evals {used}/{bud} (exhaustive {ex}, "
+                "{frac} of exhaustive)  front {n} points  rungs {r}".format(
+                    used=budget.get("des_used", "?"),
+                    bud=budget.get("des", "?"),
+                    ex=entry.get("exhaustive_des", "?"),
+                    frac="-" if frac is None else f"{frac:.1%}",
+                    n=len(entry.get("front") or []),
+                    r=len(entry.get("rungs") or []),
+                )
+            )
+            for row in entry.get("front") or []:
+                robj = row.get("objectives") or {}
+                res = robj.get("resilience")
+                lines.append(
+                    "    front {pt:<28} {gf:7.2f} GFLOPS  {su:.1%} slices"
+                    "{res}  [{fid}]".format(
+                        pt=_tune_point_label(row.get("point") or {}),
+                        gf=robj.get("gflops", 0.0),
+                        su=robj.get("slice_utilisation", 0.0),
+                        res="" if res is None else f"  retention {res:.1%}",
+                        fid=row.get("fidelity", "?"),
                     )
                 )
     workers = _latest_worker_telemetry(entries)
@@ -614,6 +674,59 @@ def _explain_table(entries: list[dict[str, Any]]) -> str:
     )
 
 
+def _tune_tables(entries: list[dict[str, Any]]) -> str:
+    tunes = _latest_tunes(entries)
+    if not tunes:
+        return ""
+    blocks = []
+    for (app, preset), entry in sorted(tunes.items()):
+        inc = entry.get("incumbent") or {}
+        obj = inc.get("objectives") or {}
+        budget = entry.get("budget") or {}
+        savings = entry.get("savings") or {}
+        frac = savings.get("fraction_of_exhaustive")
+        front = entry.get("front") or []
+        has_res = any(
+            (row.get("objectives") or {}).get("resilience") is not None
+            for row in front
+        )
+        rows = []
+        for row in front:
+            robj = row.get("objectives") or {}
+            res = robj.get("resilience")
+            rows.append(
+                "<tr>"
+                f"<td>{escape(_tune_point_label(row.get('point') or {}))}</td>"
+                f'<td class="num">{robj.get("gflops", 0.0):.2f}</td>'
+                f'<td class="num">{robj.get("slice_utilisation", 0.0):.1%}</td>'
+                + (
+                    f'<td class="num">{"-" if res is None else f"{res:.1%}"}</td>'
+                    if has_res
+                    else ""
+                )
+                + f'<td class="num">{robj.get("freq_mhz", 0.0):.0f}</td>'
+                f"<td>{escape(str(row.get('fidelity', '?')))}</td>"
+                "</tr>"
+            )
+        blocks.append(
+            f"<h2>Guided tuning Pareto front ({escape(app)}@{escape(preset)})</h2>"
+            f'<p class="sub">incumbent '
+            f"<strong>{escape(_tune_point_label(inc.get('point') or {}))}</strong> "
+            f"&rarr; {obj.get('gflops', 0.0):.2f} GFLOPS at "
+            f"{obj.get('slice_utilisation', 0.0):.1%} slices &middot; "
+            f"DES evals {budget.get('des_used', '?')}/{budget.get('des', '?')} "
+            f"vs exhaustive {entry.get('exhaustive_des', '?')}"
+            + ("" if frac is None else f" ({frac:.1%} of exhaustive)")
+            + " &middot; docs/performance.md &ldquo;Guided search&rdquo;</p>"
+            "<table><thead><tr><th>design point</th><th class='num'>GFLOPS</th>"
+            "<th class='num'>slices</th>"
+            + ("<th class='num'>retention</th>" if has_res else "")
+            + "<th class='num'>freq MHz</th><th>fidelity</th></tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+    return "\n".join(blocks)
+
+
 def _workers_table(entries: list[dict[str, Any]]) -> str:
     workers = _latest_worker_telemetry(entries)
     if not workers:
@@ -696,6 +809,7 @@ def render_html(
 {_campaign_tables(entries)}
 {_campaign_check_table(entries)}
 {_explain_table(entries)}
+{_tune_tables(entries)}
 {_workers_table(entries)}
 </body>
 </html>

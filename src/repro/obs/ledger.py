@@ -1,9 +1,10 @@
-"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 5``).
+"""Append-only, schema-versioned run ledger (``LEDGER_SCHEMA = 6``).
 
 Every instrumented run -- an LU/FW/MM design run, an experiments sweep,
 a ``bench_perf_regression`` baseline check, a fault-injection run, a
-statistical campaign, a campaign regression check or a regression
-*explanation* (paired-trace blame diff) -- can
+statistical campaign, a campaign regression check, a regression
+*explanation* (paired-trace blame diff) or a guided-search *tune* run
+(successive-halving manifest with its Pareto front) -- can
 append one *manifest* line to a JSON-lines ledger file.  A manifest records everything needed
 to compare runs across commits and machines: git SHA, machine preset,
 the partition decisions ``(b_p, b_f, l)`` / ``(l1, l2)`` / ``(m_f, r)``,
@@ -42,6 +43,7 @@ __all__ = [
     "campaign_entry",
     "campaign_check_entry",
     "explain_entry",
+    "tune_entry",
 ]
 
 #: Current ledger schema version.  Schema 1 was the metrics-file format
@@ -52,19 +54,23 @@ __all__ = [
 #: and statistical regression verdicts from :mod:`repro.campaign`);
 #: schema 5 adds the ``explain`` kind (paired-trace blame manifests from
 #: :mod:`repro.obs.explain` / :mod:`repro.campaign.explain`) and the
-#: optional ``workers`` telemetry block on ``campaign`` entries.
+#: optional ``workers`` telemetry block on ``campaign`` entries;
+#: schema 6 adds the ``tune`` kind (guided-search manifests from
+#: :mod:`repro.tune`: successive-halving rungs, the incumbent design
+#: and the Pareto front over GFLOPS / slice utilisation / resilience).
 #: Entries written by older schemas remain readable:
-#: :meth:`RunLedger.entries` accepts any ``schema <= 5``.  Bump on
+#: :meth:`RunLedger.entries` accepts any ``schema <= 6``.  Bump on
 #: breaking changes to the entry layout.
-LEDGER_SCHEMA = 5
+LEDGER_SCHEMA = 6
 
 #: Entry kinds the observatory understands.  ``design_run`` entries feed
 #: the fidelity analysis, ``fault_run`` entries feed the resilience
 #: report, ``campaign``/``campaign_check``/``explain`` entries feed the
-#: campaign observatory; the others are audit records.
+#: campaign observatory, ``tune`` entries feed the autotuner's Pareto
+#: panel; the others are audit records.
 ENTRY_KINDS = (
     "design_run", "experiments", "bench", "fault_run", "campaign",
-    "campaign_check", "explain",
+    "campaign_check", "explain", "tune",
 )
 
 #: Environment override for :func:`current_git_sha` (useful in CI and
@@ -530,6 +536,60 @@ def campaign_check_entry(
         "cells": dict(comparison["cells"]),
         "flagged": list(comparison.get("flagged") or ()),
     }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def tune_entry(
+    manifest: dict[str, Any],
+    *,
+    source: str = "cli",
+    git_sha: Optional[str] = None,
+    note: Optional[str] = None,
+    workers: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """A ``tune`` manifest: one guided design-space search.
+
+    ``manifest`` is the dict produced by :func:`repro.tune.run_tune`
+    (this module stays stdlib-only, so it takes the plain dict): the
+    search spec, rung-by-rung successive-halving summary, DES budget
+    accounting, the incumbent design and the Pareto front over
+    {GFLOPS, FPGA slice utilisation, resilience-under-faults}.  The
+    incumbent and front are hoisted so dashboards index them without
+    descending into the embedded manifest.
+
+    ``workers`` optionally attaches executor/cache telemetry for the
+    run; like campaign entries, it rides on the ledger entry only --
+    the manifest itself stays bitwise-deterministic.
+    """
+    if manifest.get("kind") != "tune":
+        raise LedgerError(f"not a tune manifest: kind={manifest.get('kind')!r}")
+    for key in ("spec", "incumbent", "front", "rungs"):
+        if key not in manifest:
+            raise LedgerError(f"tune manifest is missing {key!r}")
+    entry: dict[str, Any] = {
+        "kind": "tune",
+        "app": manifest.get("app"),
+        "preset": manifest.get("preset") or "xd1",
+        "source": source,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "manifest_schema": manifest.get("manifest_schema"),
+        "spec": dict(manifest["spec"]),
+        "space": dict(manifest.get("space") or {}),
+        "budget": dict(manifest.get("budget") or {}),
+        "evals": dict(manifest.get("evals") or {}),
+        "exhaustive_des": manifest.get("exhaustive_des"),
+        "savings": dict(manifest.get("savings") or {}),
+        "incumbent": dict(manifest["incumbent"]),
+        "front": list(manifest["front"]),
+        "rungs": list(manifest["rungs"]),
+        "objectives": dict(manifest.get("objectives") or {}),
+    }
+    if manifest.get("scenario") is not None:
+        entry["scenario"] = dict(manifest["scenario"])
+    if workers:
+        entry["workers"] = dict(workers)
     if note:
         entry["note"] = note
     return entry

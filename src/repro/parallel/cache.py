@@ -49,6 +49,10 @@ class ResultCache:
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` (fan-out over 256
     subdirectories keeps directory listings manageable for large sweeps).
+    Caches written by older builds stored entries flat at
+    ``<root>/<key>.json``; those are still readable and are migrated into
+    their shard directory transparently on first hit, so a warm cache
+    survives the layout change without a recompute.
     Writes are atomic (tmp file + rename), so concurrent workers racing
     on the same point at worst both compute it; neither sees a torn file.
     """
@@ -78,19 +82,47 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _flat_path(self, key: str) -> Path:
+        """Where a pre-sharding build would have stored ``key``."""
+        return self.root / f"{key}.json"
+
+    def _migrate_flat(self, key: str) -> Optional[dict[str, Any]]:
+        """Read a flat-layout entry for ``key``, moving it into its shard.
+
+        Returns the entry, or None when no legacy file exists.  Migration
+        uses an atomic rename; a concurrent reader either finds the flat
+        file or the sharded one, never neither.
+        """
+        flat = self._flat_path(key)
+        try:
+            with open(flat, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        dest = self._path(key)
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, dest)
+        except OSError:
+            pass  # read-only cache dir: serve the entry, retry the move later
+        return entry
+
     # -- store ----------------------------------------------------------
 
     def get(self, payload: Any) -> Optional[dict[str, Any]]:
         """The stored entry for ``payload``, or None.  Counts a lookup."""
         self.lookups += 1
-        path = self._path(self.key_for(payload))
+        key = self.key_for(payload)
+        path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (FileNotFoundError, json.JSONDecodeError):
-            self.misses += 1
-            self._m_misses.inc()
-            return None
+            entry = self._migrate_flat(key)
+            if entry is None:
+                self.misses += 1
+                self._m_misses.inc()
+                return None
         self.hits += 1
         self._m_hits.inc()
         return entry
@@ -139,10 +171,12 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         for sub in self.root.iterdir():
-            if not sub.is_dir():
-                continue
-            for path in sub.glob("*.json"):
-                path.unlink()
+            if sub.is_dir():
+                for path in sub.glob("*.json"):
+                    path.unlink()
+                    removed += 1
+            elif sub.suffix == ".json":  # legacy flat-layout entry
+                sub.unlink()
                 removed += 1
         self.evictions += removed
         self._m_evictions.inc(removed)

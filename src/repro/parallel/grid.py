@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 from itertools import product
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -46,24 +47,58 @@ def canonical(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         return sorted((canonical(v) for v in value), key=repr)
     if isinstance(value, (str, int, float, bool)) or value is None:
+        if isinstance(value, float) and not math.isfinite(value):
+            # json.dumps would emit non-standard ``NaN``/``Infinity`` tokens
+            # that strict parsers reject, so keys stop round-tripping.
+            raise TypeError(
+                f"cannot canonicalise non-finite float {value!r}: "
+                "cache keys must be strict JSON"
+            )
         return value
     # NumPy scalars (and anything else with an exact Python equivalent).
     item = getattr(value, "item", None)
     if callable(item):
         got = item()
         if isinstance(got, (str, int, float, bool)) or got is None:
-            return got
+            return canonical(got)
     raise TypeError(f"cannot canonicalise {type(value).__name__!r} value {value!r}")
 
 
 def canonical_json(value: Any) -> str:
     """The canonical JSON text of ``value`` (sorted keys, no whitespace)."""
-    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+    # allow_nan=False backstops :func:`canonical`: nothing non-finite may
+    # reach the wire even through a future canonicalisation hole.
+    return json.dumps(
+        canonical(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def canonical_key(value: Any) -> str:
     """A stable sha256 hex digest of ``value``'s canonical form."""
     return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def _dedup(values: Sequence[Any]) -> tuple[Any, ...]:
+    """``values`` with duplicates dropped, first occurrence order kept.
+
+    Equality is judged on the canonical JSON form -- the same identity
+    the cache keys on, so two values collapse exactly when they would
+    address the same cache entry.  Values that cannot be canonicalised
+    are kept verbatim and left for the cache layer to reject later.
+    """
+    seen: set[str] = set()
+    out: list[Any] = []
+    for value in values:
+        try:
+            marker = canonical_json(value)
+        except TypeError:
+            out.append(value)
+            continue
+        if marker in seen:
+            continue
+        seen.add(marker)
+        out.append(value)
+    return tuple(out)
 
 
 class ParamGrid:
@@ -75,15 +110,23 @@ class ParamGrid:
 
     Axis order follows declaration order; the rightmost axis varies
     fastest, like nested for-loops.
+
+    Repeated values on an axis are dropped (first occurrence wins), so
+    e.g. a ratio axis whose rounded values coincide does not schedule the
+    same point twice within one sweep:
+
+    >>> len(ParamGrid(l=[2, 2, 3]))
+    2
     """
 
     def __init__(self, **axes: Sequence[Any]) -> None:
         if not axes:
             raise ValueError("ParamGrid requires at least one axis")
+        self.axes: dict[str, tuple[Any, ...]] = {}
         for name, values in axes.items():
             if not len(values):
                 raise ValueError(f"axis {name!r} is empty")
-        self.axes: dict[str, tuple[Any, ...]] = {k: tuple(v) for k, v in axes.items()}
+            self.axes[name] = _dedup(values)
 
     def __len__(self) -> int:
         n = 1

@@ -1,0 +1,192 @@
+"""Fidelity-aware evaluation of tuner design points.
+
+The tuner evaluates every point through the same cached-task layer the
+experiments use: each evaluation is a JSON-able task dict (the cache
+key) plus a module-level worker function (picklable, so the
+process-pool executor can ship it).  Three fidelity levels exist:
+
+* ``analytic`` -- the cheap rung.  ``block_mm`` points go through the
+  closed-form fast path (``fast_path="on"``: these schedules are always
+  eligible); ``lu``/``fw`` points use ``"auto"`` so ineligible configs
+  fall back to the DES rather than erroring.  Analytic tasks share
+  their cache keys with the experiment sweeps (same task shape, same
+  bitwise value), so a tuner run after ``repro experiments`` starts
+  warm -- and vice versa.
+* ``des`` -- the full-fidelity rung (``fast_path="off"``).  The task
+  carries a ``fidelity: "des"`` marker so its cache entry never
+  masquerades as a cheap one: budget accounting stays honest on any
+  cache state.
+* ``resilience`` -- an optional fault-grid probe for front candidates:
+  the point's own partition is held fixed (policy ``degrade-static``)
+  under a seeded fault scenario and scored by overlap-efficiency
+  retention (:mod:`repro.faults`).
+
+Objectives derived parent-side (no caching needed -- pure arithmetic):
+GFLOPS from the simulated latency and FPGA slice utilisation from the
+synthesis estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..machine import ALL_PRESETS
+from .space import SearchSpace
+
+__all__ = ["run_tune_task", "point_task", "resilience_task", "objectives_for"]
+
+
+def point_task(
+    space: SearchSpace, point: dict[str, Any], fidelity: str
+) -> dict[str, Any]:
+    """The cacheable task dict for one (point, fidelity) evaluation."""
+    p = space.params(point)
+    if space.kind == "block_mm":
+        task: dict[str, Any] = {
+            "kind": "block_mm",
+            "machine": space.machine,
+            "b": int(p["b"]),
+            "b_f": int(p["b_f"]),
+            "k": int(p["k"]),
+        }
+    elif space.kind == "lu":
+        from ..apps.lu import LuSimConfig
+
+        task = {
+            "kind": "lu",
+            "machine": space.machine,
+            "cfg": LuSimConfig(
+                n=int(p["n"]), b=int(p["b"]), k=int(p["k"]),
+                b_f=int(p["b_f"]), l=int(p["l"]), iterations=1,
+            ),
+        }
+    else:
+        from ..apps.fw import FwSimConfig
+
+        task = {
+            "kind": "fw",
+            "machine": space.machine,
+            "cfg": FwSimConfig(
+                n=int(p["n"]), b=int(p["b"]), k=int(p["k"]),
+                l1=int(p["l1"]), l2=int(p["l2"]), iterations=1,
+            ),
+        }
+    if fidelity == "des":
+        # Distinct cache identity for full-fidelity entries; analytic
+        # tasks keep the experiments' exact shape for cache sharing.
+        task["fidelity"] = "des"
+    return task
+
+
+def resilience_task(
+    space: SearchSpace, point: dict[str, Any], scenario: dict[str, Any]
+) -> dict[str, Any]:
+    """The cacheable fault-probe task for one front candidate.
+
+    ``block_mm`` points have no full-app fault policy surface, so they
+    are probed through a short (2-block) LU run that reuses the point's
+    (b, b_f) split -- the block multiply is LU's co-designed kernel.
+    """
+    p = space.params(point)
+    if space.kind == "fw":
+        app, n, b = "fw", int(p["n"]), int(p["b"])
+        overrides: dict[str, Any] = {"l1": int(p["l1"]), "l2": int(p["l2"]), "iterations": 1}
+    elif space.kind == "lu":
+        app, n, b = "lu", int(p["n"]), int(p["b"])
+        overrides = {"b_f": int(p["b_f"]), "l": int(p["l"]), "iterations": 1}
+    else:
+        app, b = "lu", int(p["b"])
+        n = 2 * b
+        overrides = {"b_f": int(p["b_f"]), "iterations": 1}
+    return {
+        "kind": "tune_resilience",
+        "app": app,
+        "machine": space.machine,
+        "n": n,
+        "b": b,
+        "overrides": overrides,
+        "scenario": dict(scenario),
+        "policy": "degrade-static",
+    }
+
+
+def _spec_for(machine: str):
+    return ALL_PRESETS[machine]()
+
+
+def run_tune_task(task: dict[str, Any]) -> Any:
+    """Evaluate one tuner task; must stay module-level (picklable).
+
+    Returns the same value shape as the experiments' task layer for the
+    shared kinds (``block_mm``: latency in seconds; ``lu``/``fw``:
+    ``{"elapsed", "gflops"}``), and a resilience summary dict for
+    ``tune_resilience`` probes.
+    """
+    kind = task["kind"]
+    fast: Optional[str]
+    if task.get("fidelity") == "des":
+        fast = "off"
+    elif kind == "block_mm":
+        fast = "on"
+    else:
+        fast = "auto"
+    spec = _spec_for(task["machine"])
+    if kind == "block_mm":
+        from ..apps.lu import simulate_block_mm
+
+        return simulate_block_mm(
+            spec, task["b"], task["b_f"], task["k"], fast_path=fast
+        )
+    if kind == "lu":
+        from ..apps.lu import simulate_lu
+
+        res = simulate_lu(spec, task["cfg"], fast_path=fast)
+        return {"elapsed": res.elapsed, "gflops": res.gflops}
+    if kind == "fw":
+        from ..apps.fw import simulate_fw
+
+        res = simulate_fw(spec, task["cfg"], fast_path=fast)
+        return {"elapsed": res.elapsed, "gflops": res.gflops}
+    if kind == "tune_resilience":
+        from ..faults import run_with_faults
+
+        result = run_with_faults(
+            task["app"],
+            task["scenario"],
+            task["policy"],
+            preset=task["machine"],
+            n=task["n"],
+            b=task["b"],
+            sim_overrides=dict(task["overrides"]),
+        )
+        return {
+            "efficiency_retention": result.efficiency_retention,
+            "makespan_inflation": result.makespan_inflation,
+            "failed": bool(result.failed),
+        }
+    raise ValueError(f"unknown tune task kind {kind!r}")
+
+
+def objectives_for(
+    space: SearchSpace, point: dict[str, Any], value: Any
+) -> dict[str, float]:
+    """Derive the Pareto objectives from a point's simulation value.
+
+    GFLOPS comes from the simulated latency (for ``block_mm``,
+    ``2 b^3`` flops over the measured block time); slice utilisation
+    from the synthesis estimator at the point's PE count.
+    """
+    p = space.params(point)
+    if space.kind == "block_mm":
+        latency = float(value)
+        gflops = 2.0 * float(p["b"]) ** 3 / latency / 1e9
+    else:
+        latency = float(value["elapsed"])
+        gflops = float(value["gflops"])
+    report = space.synthesis(int(p["k"]))
+    return {
+        "gflops": gflops,
+        "latency": latency,
+        "slice_utilisation": report.slice_utilisation,
+        "freq_mhz": report.freq_hz / 1e6,
+    }

@@ -1,0 +1,83 @@
+"""Pareto-front extraction over tuner objectives.
+
+A design point *dominates* another when it is at least as good on every
+objective and strictly better on at least one, with per-objective
+senses (``"max"`` for GFLOPS and resilience, ``"min"`` for FPGA slice
+utilisation).  The front is the non-dominated subset, returned in a
+deterministic order (descending primary objective, canonical point JSON
+as the tiebreak) so manifests containing it are bitwise-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..parallel.grid import canonical_json
+
+__all__ = ["DEFAULT_SENSES", "dominates", "pareto_front"]
+
+#: Objective senses the tuner optimises over.  ``latency``/``freq_mhz``
+#: ride along in the objective dicts for reporting but are redundant
+#: with ``gflops`` / ``slice_utilisation``, so they are not senses here.
+DEFAULT_SENSES: dict[str, str] = {
+    "gflops": "max",
+    "slice_utilisation": "min",
+    "resilience": "max",
+}
+
+
+def _oriented(row: Mapping[str, Any], senses: Mapping[str, str]) -> list[float]:
+    """The row's objective vector, flipped so larger is always better."""
+    out = []
+    for name, sense in senses.items():
+        v = float(row[name])
+        out.append(v if sense == "max" else -v)
+    return out
+
+
+def dominates(
+    a: Mapping[str, Any], b: Mapping[str, Any], senses: Mapping[str, str]
+) -> bool:
+    """True when objective dict ``a`` Pareto-dominates ``b``."""
+    va, vb = _oriented(a, senses), _oriented(b, senses)
+    return all(x >= y for x, y in zip(va, vb)) and any(x > y for x, y in zip(va, vb))
+
+
+def pareto_front(
+    rows: Sequence[Mapping[str, Any]],
+    senses: Mapping[str, str] = DEFAULT_SENSES,
+    objectives_key: str = "objectives",
+) -> list[dict[str, Any]]:
+    """The non-dominated rows, deterministically ordered.
+
+    ``rows`` are candidate dicts with an ``objectives`` sub-dict (the
+    tuner's evaluated-point records); ``senses`` maps objective name to
+    ``"max"``/``"min"`` and is restricted to the objectives present in
+    every row.  Exact duplicates of an objective vector all survive
+    (none dominates the other), which keeps ties visible in the front.
+    """
+    if not rows:
+        return []
+    usable = {
+        name: sense
+        for name, sense in senses.items()
+        if all(row[objectives_key].get(name) is not None for row in rows)
+    }
+    if not usable:
+        raise ValueError(f"no usable objectives among {list(senses)}")
+    front = [
+        row
+        for row in rows
+        if not any(
+            dominates(other[objectives_key], row[objectives_key], usable)
+            for other in rows
+            if other is not row
+        )
+    ]
+    primary = next(iter(usable))
+    sign = -1.0 if usable[primary] == "max" else 1.0
+
+    def order(row: Mapping[str, Any]) -> tuple:
+        return (sign * float(row[objectives_key][primary]), canonical_json(row.get("point", {})))
+
+    return [dict(row) for row in sorted(front, key=order)]

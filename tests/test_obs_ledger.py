@@ -44,7 +44,7 @@ def test_append_assigns_schema_seq_ts(tmp_path):
     ledger = RunLedger(tmp_path / "ledger.jsonl")
     first = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
     second = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
-    assert first["schema"] == LEDGER_SCHEMA == 5
+    assert first["schema"] == LEDGER_SCHEMA == 6
     assert (first["seq"], second["seq"]) == (1, 2)
     assert first["ts"].endswith("Z")
     # seq survives a fresh RunLedger over the same file
@@ -238,7 +238,7 @@ def test_fault_run_entry_builds_schema3_manifest(tmp_path):
     assert entry["note"] == "campaign 1"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 5
+    assert appended["schema"] == LEDGER_SCHEMA == 6
     (back,) = ledger.entries(kind="fault_run")
     assert back["attribution"]["term"] == "t_comm"
 
@@ -253,8 +253,8 @@ def test_fault_run_entry_validates_required_fields():
 
 
 def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
-    """Schema-2, -3 and -4 entries written by older code still load,
-    list, resolve and diff after the schema-5 (explain) bump."""
+    """Schema-2 through schema-5 entries written by older code still
+    load, list, resolve and diff after the schema-6 (tune) bump."""
     from repro.obs import fault_run_entry, render_diff
 
     path = tmp_path / "l.jsonl"
@@ -273,23 +273,28 @@ def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
         fault_run_entry(_fault_result(), git_sha="mid2"),
         schema=4, seq=3, ts="2026-03-01T00:00:00Z",
     )
+    schema5 = dict(
+        fault_run_entry(_fault_result(), git_sha="mid3"),
+        schema=5, seq=4, ts="2026-04-01T00:00:00Z",
+    )
     path.write_text(
         json.dumps(schema2, sort_keys=True) + "\n"
         + json.dumps(schema3, sort_keys=True) + "\n"
-        + json.dumps(schema4, sort_keys=True) + "\n",
+        + json.dumps(schema4, sort_keys=True) + "\n"
+        + json.dumps(schema5, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     ledger = RunLedger(path)
     new = ledger.append(fault_run_entry(_fault_result(), git_sha="new"))
     entries = ledger.entries()
-    assert [e["schema"] for e in entries] == [2, 3, 4, 5]
-    assert new["seq"] == 4  # seq continues across the schema bump
+    assert [e["schema"] for e in entries] == [2, 3, 4, 5, 6]
+    assert new["seq"] == 5  # seq continues across the schema bump
     assert render_diff(entries[0], entries[1])  # mixed-kind diff renders
-    assert render_diff(entries[2], entries[3])  # schema 4 vs 5 diff renders
+    assert render_diff(entries[3], entries[4])  # schema 5 vs 6 diff renders
     assert ledger.entries(kind="design_run") == [entries[0]]
     assert ledger.entries(kind="fault_run") == entries[1:]
     assert ledger.resolve(1)["schema"] == 2
-    assert ledger.resolve("latest")["schema"] == 5
+    assert ledger.resolve("latest")["schema"] == 6
 
 
 # ------------------------------------------------- schema 4 / campaigns
@@ -332,7 +337,7 @@ def test_campaign_entry_builds_schema4_manifest(tmp_path):
     assert entry["note"] == "nightly"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 5
+    assert appended["schema"] == LEDGER_SCHEMA == 6
     (back,) = ledger.entries(kind="campaign")
     assert back["cells"] == entry["cells"]
 
@@ -425,7 +430,7 @@ def test_explain_entry_builds_schema5_manifest(tmp_path):
     assert entry["note"] == "ci"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 5
+    assert appended["schema"] == LEDGER_SCHEMA == 6
     (back,) = ledger.entries(kind="explain")
     assert back["explain"] == entry["explain"]
 
@@ -466,5 +471,93 @@ def test_old_reader_rejects_schema5_explain_lines(tmp_path, monkeypatch):
     path = tmp_path / "l.jsonl"
     RunLedger(path).append(explain_entry(_explain_manifest(), git_sha="x"))
     monkeypatch.setattr(ledger_mod, "LEDGER_SCHEMA", 4)
+    with pytest.raises(LedgerError, match="unsupported ledger schema"):
+        RunLedger(path).entries()
+
+
+# ----------------------------------------------------- schema 6 / tune
+
+
+def _tune_manifest():
+    """A minimal run_tune()-shaped manifest."""
+    point = {"b_f": 1000}
+    objectives = {
+        "gflops": 28.67, "latency": 1.88,
+        "slice_utilisation": 0.978, "freq_mhz": 130.0,
+    }
+    return {
+        "kind": "tune",
+        "manifest_schema": 1,
+        "app": "block_mm",
+        "preset": "xd1",
+        "spec": {
+            "space": {"kind": "block_mm", "machine": "xd1",
+                      "fixed": {"b": 3000, "k": 8}, "axes": {"b_f": [0, 1000]}},
+            "seed": 0, "eta": 4, "refine": 1,
+        },
+        "space": {"size": 2, "grid_size": 2, "infeasible": 0, "axes": ["b_f"]},
+        "budget": {"des": 1, "des_used": 1},
+        "evals": {"analytic": 2, "des": 1},
+        "exhaustive_des": 2,
+        "savings": {"des_evals_saved": 1, "fraction_of_exhaustive": 0.5},
+        "incumbent": {"point": point, "objectives": objectives, "fidelity": "des"},
+        "front": [{"point": point, "objectives": objectives, "fidelity": "des"}],
+        "rungs": [
+            {"rung": 0, "fidelity": "analytic", "evaluated": 2, "kept": 1,
+             "best": {"point": point, "gflops": 28.67}},
+        ],
+        "objectives": {"gflops": "max", "slice_utilisation": "min"},
+    }
+
+
+def test_tune_entry_builds_schema6_manifest(tmp_path):
+    from repro.obs import tune_entry
+
+    entry = tune_entry(_tune_manifest(), git_sha="abc", note="ci")
+    assert entry["kind"] == "tune"
+    assert entry["app"] == "block_mm"
+    assert entry["preset"] == "xd1"
+    assert entry["incumbent"]["point"] == {"b_f": 1000}
+    assert entry["front"][0]["objectives"]["gflops"] == 28.67
+    assert entry["budget"] == {"des": 1, "des_used": 1}
+    assert entry["exhaustive_des"] == 2
+    assert entry["savings"]["fraction_of_exhaustive"] == 0.5
+    assert entry["note"] == "ci"
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    appended = ledger.append(entry)
+    assert appended["schema"] == LEDGER_SCHEMA == 6
+    (back,) = ledger.entries(kind="tune")
+    assert back["front"] == entry["front"]
+
+
+def test_tune_entry_validates_manifest():
+    from repro.obs import tune_entry
+
+    with pytest.raises(LedgerError, match="not a tune manifest"):
+        tune_entry({"kind": "campaign"})
+    broken = _tune_manifest()
+    del broken["front"]
+    with pytest.raises(LedgerError, match="missing 'front'"):
+        tune_entry(broken)
+
+
+def test_tune_entry_telemetry_rides_on_entry_only(tmp_path):
+    from repro.obs import tune_entry
+
+    workers = {"executor": {"mode": "parallel", "workers": 4, "tasks": 3}}
+    entry = tune_entry(_tune_manifest(), workers=workers)
+    assert entry["workers"]["executor"]["workers"] == 4
+    assert "workers" not in tune_entry(_tune_manifest())
+
+
+def test_old_reader_rejects_schema6_tune_lines(tmp_path, monkeypatch):
+    """A schema-5 reader must refuse schema-6 lines loudly, not misread
+    them."""
+    import repro.obs.ledger as ledger_mod
+    from repro.obs import tune_entry
+
+    path = tmp_path / "l.jsonl"
+    RunLedger(path).append(tune_entry(_tune_manifest(), git_sha="x"))
+    monkeypatch.setattr(ledger_mod, "LEDGER_SCHEMA", 5)
     with pytest.raises(LedgerError, match="unsupported ledger schema"):
         RunLedger(path).entries()

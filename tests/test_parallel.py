@@ -66,6 +66,18 @@ def test_canonical_key_is_stable_and_order_insensitive():
     assert len(k1) == 64  # sha256 hex
 
 
+def test_canonical_rejects_non_finite_floats():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(TypeError, match="non-finite float"):
+            canonical(bad)
+        with pytest.raises(TypeError, match="non-finite float"):
+            canonical({"x": bad})
+        with pytest.raises(TypeError, match="non-finite float"):
+            canonical_json([1.0, bad])
+        with pytest.raises(TypeError, match="non-finite float"):
+            canonical(np.float64(bad))
+
+
 def test_param_grid_orders_rightmost_fastest():
     grid = ParamGrid(a=[1, 2], b=[10, 20])
     assert len(grid) == 4
@@ -75,6 +87,17 @@ def test_param_grid_orders_rightmost_fastest():
         {"a": 2, "b": 10},
         {"a": 2, "b": 20},
     ]
+
+
+def test_param_grid_dedups_repeated_axis_values():
+    # Repeats would silently re-run (or re-hit) the same cache entry.
+    grid = ParamGrid(l=[2, 2, 3], b=[100])
+    assert len(grid) == 2
+    assert list(grid) == [{"l": 2, "b": 100}, {"l": 3, "b": 100}]
+    # First occurrence wins, original order otherwise preserved.
+    assert ParamGrid(x=[3, 1, 3, 2, 1]).axes["x"] == (3, 1, 2)
+    # int 2 and float 2.0 address different cache entries: both kept.
+    assert ParamGrid(x=[2, 2.0]).axes["x"] == (2, 2.0)
 
 
 # -----------------------------------------------------------------------
@@ -135,6 +158,46 @@ def test_cache_clear_removes_entries(tmp_path):
     cache.put({"p": 2}, 2)
     assert cache.clear() == 2
     assert cache.get({"p": 1}) is None
+
+
+def test_cache_migrates_flat_layout_entries(tmp_path):
+    """Entries written before sharding (<root>/<key>.json) replay as
+    hits and are renamed into their <key[:2]>/ shard on first touch."""
+    import json as _json
+
+    root = tmp_path / "cache"
+    cache = ResultCache(root)
+    payload = {"kind": "unit", "x": 7}
+    key = cache.key_for(payload)
+    flat = root / f"{key}.json"
+    flat.parent.mkdir(parents=True, exist_ok=True)
+    flat.write_text(
+        _json.dumps({"key": key, "payload": payload, "value": 99}),
+        encoding="utf-8",
+    )
+    entry = cache.get(payload)
+    assert entry is not None and entry["value"] == 99
+    assert cache.stats["hits"] == 1 and cache.stats["misses"] == 0
+    assert not flat.exists()
+    assert (root / key[:2] / f"{key}.json").is_file()
+    # Second lookup comes straight from the sharded location.
+    assert cache.get(payload)["value"] == 99
+
+
+def test_cache_clear_removes_flat_entries_too(tmp_path):
+    import json as _json
+
+    root = tmp_path / "cache"
+    cache = ResultCache(root)
+    cache.put({"p": 1}, 1)
+    key = cache.key_for({"p": 2})
+    (root / f"{key}.json").write_text(
+        _json.dumps({"key": key, "payload": {"p": 2}, "value": 2}),
+        encoding="utf-8",
+    )
+    assert cache.clear() == 2
+    assert cache.get({"p": 1}) is None
+    assert cache.get({"p": 2}) is None
 
 
 def test_cache_from_env(tmp_path, monkeypatch):
