@@ -104,7 +104,8 @@ def _coerce_cache(cache: Any) -> Optional[ResultCache]:
 
 
 @contextmanager
-def configured(jobs: Any = None, cache: Any = None, fast_path: Any = None):
+def configured(jobs: Any = None, cache: Any = None, fast_path: Any = None,
+               executor: Optional[SweepExecutor] = None):
     """Run experiments with a given executor/cache configuration.
 
     ``jobs``: worker count, ``"auto"``, or None to consult the
@@ -114,12 +115,17 @@ def configured(jobs: Any = None, cache: Any = None, fast_path: Any = None):
     ``fast_path``: ``"auto"`` / ``"on"`` / ``"off"`` for the analytic
     no-contention fast path, or None to consult ``REPRO_FAST_PATH``
     (default auto); results are bitwise identical either way.
+    ``executor``: an existing :class:`SweepExecutor` to reuse (the
+    service shares one pool across jobs); the block then leaves its
+    lifetime alone -- only executors this function creates are closed.
     """
     global _EXECUTOR, _CACHE
     from .sim.analytic import set_fast_path_mode
 
     prev = (_EXECUTOR, _CACHE)
-    executor = SweepExecutor(jobs)
+    owns = executor is None
+    if executor is None:
+        executor = SweepExecutor(jobs)
     _EXECUTOR = executor
     _CACHE = _coerce_cache(cache)
     prev_mode = set_fast_path_mode(fast_path)
@@ -128,7 +134,8 @@ def configured(jobs: Any = None, cache: Any = None, fast_path: Any = None):
     finally:
         set_fast_path_mode(prev_mode)
         _EXECUTOR, _CACHE = prev
-        executor.close()
+        if owns:
+            executor.close()
 
 
 def active_cache() -> Optional[ResultCache]:

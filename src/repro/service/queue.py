@@ -1,0 +1,150 @@
+"""Sharded job queue and per-client token-bucket rate limiting.
+
+:class:`JobQueue` is a priority-class queue: one FIFO shard per class
+(``interactive`` ahead of ``default`` ahead of ``batch``), popped
+strictly in class order and first-in-first-out within a class.  It is a
+plain synchronous structure -- the asyncio server layers its own wakeup
+signalling on top -- so queue semantics are unit-testable without an
+event loop.
+
+:class:`RateLimiter` holds one :class:`TokenBucket` per client.  A
+bucket of capacity *C* refilled at *r* tokens/second admits bursts of
+*C* submissions and a sustained *r* jobs/s; an empty bucket yields the
+``Retry-After`` delay the server returns with HTTP 429.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .jobs import Job, JobError
+
+__all__ = ["PRIORITIES", "DEFAULT_PRIORITY", "JobQueue", "RateLimiter", "TokenBucket"]
+
+#: Priority classes, highest first.  Submissions default to ``default``.
+PRIORITIES = ("interactive", "default", "batch")
+
+DEFAULT_PRIORITY = "default"
+
+
+class JobQueue:
+    """Priority classes with FIFO order inside each class."""
+
+    def __init__(self) -> None:
+        self._shards: dict[str, deque[Job]] = {p: deque() for p in PRIORITIES}
+
+    def push(self, job: Job) -> None:
+        """Enqueue ``job`` under its priority class."""
+        if job.priority not in self._shards:
+            raise JobError(
+                f"unknown priority {job.priority!r}; expected one of {PRIORITIES}"
+            )
+        self._shards[job.priority].append(job)
+
+    def pop(self) -> Optional[Job]:
+        """The next job -- highest class first, FIFO within -- or None."""
+        for priority in PRIORITIES:
+            shard = self._shards[priority]
+            if shard:
+                return shard.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards.values())
+
+    def counts(self) -> dict[str, int]:
+        """Queued jobs per priority class."""
+        return {p: len(s) for p, s in self._shards.items()}
+
+    def jobs(self) -> list[Job]:
+        """Queued jobs in pop order (for status endpoints; no removal)."""
+        out: list[Job] = []
+        for priority in PRIORITIES:
+            out.extend(self._shards[priority])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JobQueue {self.counts()}>"
+
+
+class TokenBucket:
+    """A classic token bucket: ``capacity`` burst, ``refill_per_s`` rate."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"token bucket capacity must be >= 1, got {capacity}")
+        if refill_per_s <= 0:
+            raise ValueError(f"refill rate must be > 0, got {refill_per_s}")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self.tokens = float(capacity)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.refill_per_s)
+
+    def take(self) -> tuple[bool, float]:
+        """Consume one token.  Returns ``(ok, retry_after_seconds)``.
+
+        ``retry_after_seconds`` is 0.0 on success, else the time until
+        the next whole token exists.
+        """
+        self._refill()
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.refill_per_s
+
+
+class RateLimiter:
+    """One token bucket per client id.
+
+    ``capacity=None`` disables limiting entirely (every submission is
+    admitted) -- the in-process/test default.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[float] = None,
+        refill_per_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity is not None
+
+    def allow(self, client: str) -> tuple[bool, float]:
+        """Admit one submission from ``client``; see :meth:`TokenBucket.take`."""
+        if self.capacity is None:
+            return True, 0.0
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.capacity, self.refill_per_s, clock=self._clock
+            )
+        return bucket.take()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Limiter configuration + per-client token balances."""
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "refill_per_s": self.refill_per_s if self.enabled else None,
+            "clients": len(self._buckets),
+        }

@@ -1,0 +1,192 @@
+"""Job runners: one callable per job kind, wrapping the batch surfaces.
+
+Each runner takes the *normalized* params of a job manifest (see
+:mod:`repro.service.jobs`) plus a :class:`RunnerContext` and returns a
+JSON-able result document.  Runners deliberately wrap the exact same
+task dicts and entry points the CLI uses today -- ``design`` builds the
+``lu_compare``/``fw_compare``/``mm_compare`` tasks of
+:func:`repro.experiments._eval_sim_point`, ``sweep`` calls the
+experiment functions, ``faults``/``campaign``/``tune`` call
+:func:`repro.faults.fault_sweep` / :func:`repro.campaign.run_campaign` /
+:func:`repro.tune.run_tune` -- so a job's result is bitwise-identical
+to the direct CLI path and shares every per-point cache entry with it.
+
+The registry is open: :func:`register_runner` adds new kinds (tests use
+throwaway kinds to exercise retry and queue behaviour without paying
+for a real simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .jobs import JobError, register_kind, unregister_kind
+
+__all__ = [
+    "RunnerContext",
+    "register_runner",
+    "run_manifest",
+    "unregister_runner",
+]
+
+
+@dataclass
+class RunnerContext:
+    """What a runner may use: the server's shared executor and cache.
+
+    ``executor`` is the server's persistent :class:`~repro.parallel.
+    executor.SweepExecutor` (reused across jobs so the worker pool pays
+    startup once); ``cache`` is the server's :class:`~repro.parallel.
+    cache.ResultCache` or None; ``jobs`` is the raw worker-count setting
+    for sub-runners that build their own executors.
+    """
+
+    executor: Any = None
+    cache: Any = None
+    jobs: Any = None
+
+
+def _configured(ctx: RunnerContext):
+    from ..experiments import configured
+
+    # A service with no cache must not silently pick one up from the
+    # environment: False forces caching off.
+    return configured(
+        executor=ctx.executor, cache=ctx.cache if ctx.cache is not None else False
+    )
+
+
+def _run_design(params: dict[str, Any], ctx: RunnerContext) -> dict[str, Any]:
+    from ..experiments import _eval_sim_point
+
+    app = params["app"]
+    task: dict[str, Any] = {"kind": f"{app}_compare", "n": params["n"]}
+    if app != "mm":
+        task["b"] = params["b"]
+    if params["p"] != 6:
+        # Default-p tasks share cache keys with the fig9 sweeps (the
+        # same rule repro.cli._compare_values applies).
+        task["p"] = params["p"]
+    with _configured(ctx):
+        compare = _eval_sim_point(task)
+    return {"kind": "design", "app": app, "task": task, "compare": compare}
+
+
+def _run_sweep(params: dict[str, Any], ctx: RunnerContext) -> dict[str, Any]:
+    from ..experiments import ALL_EXPERIMENTS
+
+    results: dict[str, Any] = {}
+    with _configured(ctx):
+        for name in params["experiments"]:
+            res = ALL_EXPERIMENTS[name]()
+            results[name] = {
+                "id": res.id,
+                "title": res.title,
+                "ok": res.ok,
+                "checks": dict(res.checks),
+                "text": res.text,
+            }
+    return {"kind": "sweep", "experiments": results}
+
+
+def _run_faults(params: dict[str, Any], ctx: RunnerContext) -> dict[str, Any]:
+    from ..faults import build_scenario, fault_sweep
+
+    scenarios = [
+        build_scenario(name, factor=params["factor"], seed=params["seed"])
+        for name in params["scenarios"]
+    ]
+    results = fault_sweep(
+        params["apps"],
+        scenarios,
+        params["policies"],
+        preset=params["preset"],
+        jobs=ctx.jobs,
+        cache=ctx.cache if ctx.cache is not None else False,
+    )
+    return {"kind": "faults", "results": results}
+
+
+def _run_campaign(params: dict[str, Any], ctx: RunnerContext) -> dict[str, Any]:
+    from ..campaign import CampaignSpec, PerturbationModel, run_campaign
+    from ..faults import build_scenario
+
+    presets = params["preset"]
+    scenarios = tuple(
+        build_scenario(name, factor=params["factor"], seed=params["seed"])
+        for name in params["scenarios"]
+    )
+    spec = CampaignSpec(
+        apps=tuple(params["apps"]),
+        preset=presets[0],
+        presets=tuple(presets) if len(presets) > 1 else (),
+        scenarios=scenarios,
+        replicates=params["replicates"],
+        seed=params["seed"],
+        perturb=PerturbationModel(
+            bandwidth_jitter=params["jitter"],
+            dram_jitter=params["jitter"],
+            clock_jitter=params["jitter"],
+            stall_count=params["stalls"],
+        ),
+        throttle_fpga=params["throttle_fpga"],
+    )
+    return run_campaign(
+        spec,
+        jobs=ctx.jobs,
+        cache=ctx.cache if ctx.cache is not None else False,
+    )
+
+
+def _run_tune(params: dict[str, Any], ctx: RunnerContext) -> dict[str, Any]:
+    from ..tune import TuneSpec, named_space, run_tune
+
+    spec = TuneSpec(
+        space=named_space(params["space"]),
+        seed=params["seed"],
+        eta=params["eta"],
+        budget=params["budget"],
+        refine=params["refine"],
+        resilience=params["resilience"],
+        resilience_keep=params["resilience_keep"],
+    )
+    return run_tune(
+        spec,
+        jobs=ctx.jobs,
+        cache=ctx.cache if ctx.cache is not None else False,
+    )
+
+
+_RUNNERS: dict[str, Callable[[dict[str, Any], RunnerContext], Any]] = {
+    "design": _run_design,
+    "sweep": _run_sweep,
+    "faults": _run_faults,
+    "campaign": _run_campaign,
+    "tune": _run_tune,
+}
+
+
+def register_runner(
+    kind: str,
+    runner: Callable[[dict[str, Any], RunnerContext], Any],
+    normalizer: Optional[Callable[[dict[str, Any]], dict[str, Any]]] = None,
+) -> None:
+    """Register ``runner`` (and its request normalizer) for a job kind."""
+    _RUNNERS[kind] = runner
+    register_kind(kind, normalizer)
+
+
+def unregister_runner(kind: str) -> None:
+    """Remove a registered kind and its runner (test cleanup)."""
+    unregister_kind(kind)
+    _RUNNERS.pop(kind, None)
+
+
+def run_manifest(manifest: dict[str, Any], ctx: RunnerContext) -> Any:
+    """Execute one job manifest; returns its JSON-able result document."""
+    kind = manifest.get("kind")
+    runner = _RUNNERS.get(kind)
+    if runner is None:
+        raise JobError(f"no runner registered for job kind {kind!r}")
+    return runner(dict(manifest.get("params") or {}), ctx)

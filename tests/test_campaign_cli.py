@@ -50,7 +50,7 @@ def test_campaign_run_appends_ledger_entry(tmp_path, capsys):
     from repro.obs import RunLedger
 
     (entry,) = RunLedger(ledger).entries(kind="campaign")
-    assert entry["schema"] == 6
+    assert entry["schema"] == 7
     assert entry["replicates"] == 4
     assert entry["workers"]["executor"]["mode"] in ("serial", "parallel")
 

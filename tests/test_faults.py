@@ -310,7 +310,7 @@ def test_cli_faults_run_appends_ledger(tmp_path, capsys):
     assert rc == 0
     assert "Eq. (2)/(4) network term" in out
     entries = json.loads(ledger.read_text().splitlines()[0])
-    assert entries["kind"] == "fault_run" and entries["schema"] == 6
+    assert entries["kind"] == "fault_run" and entries["schema"] == 7
 
 
 def test_cli_faults_run_json_and_validation(tmp_path, capsys):

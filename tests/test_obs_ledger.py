@@ -44,7 +44,7 @@ def test_append_assigns_schema_seq_ts(tmp_path):
     ledger = RunLedger(tmp_path / "ledger.jsonl")
     first = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
     second = ledger.append(design_run_entry(_overlap_record(), git_sha="abc"))
-    assert first["schema"] == LEDGER_SCHEMA == 6
+    assert first["schema"] == LEDGER_SCHEMA == 7
     assert (first["seq"], second["seq"]) == (1, 2)
     assert first["ts"].endswith("Z")
     # seq survives a fresh RunLedger over the same file
@@ -238,7 +238,7 @@ def test_fault_run_entry_builds_schema3_manifest(tmp_path):
     assert entry["note"] == "campaign 1"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 6
+    assert appended["schema"] == LEDGER_SCHEMA == 7
     (back,) = ledger.entries(kind="fault_run")
     assert back["attribution"]["term"] == "t_comm"
 
@@ -253,8 +253,8 @@ def test_fault_run_entry_validates_required_fields():
 
 
 def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
-    """Schema-2 through schema-5 entries written by older code still
-    load, list, resolve and diff after the schema-6 (tune) bump."""
+    """Schema-2 through schema-6 entries written by older code still
+    load, list, resolve and diff after the schema-7 (service) bump."""
     from repro.obs import fault_run_entry, render_diff
 
     path = tmp_path / "l.jsonl"
@@ -277,24 +277,29 @@ def test_mixed_schema_ledger_reads_and_diffs_cleanly(tmp_path):
         fault_run_entry(_fault_result(), git_sha="mid3"),
         schema=5, seq=4, ts="2026-04-01T00:00:00Z",
     )
+    schema6 = dict(
+        fault_run_entry(_fault_result(), git_sha="mid4"),
+        schema=6, seq=5, ts="2026-05-01T00:00:00Z",
+    )
     path.write_text(
         json.dumps(schema2, sort_keys=True) + "\n"
         + json.dumps(schema3, sort_keys=True) + "\n"
         + json.dumps(schema4, sort_keys=True) + "\n"
-        + json.dumps(schema5, sort_keys=True) + "\n",
+        + json.dumps(schema5, sort_keys=True) + "\n"
+        + json.dumps(schema6, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     ledger = RunLedger(path)
     new = ledger.append(fault_run_entry(_fault_result(), git_sha="new"))
     entries = ledger.entries()
-    assert [e["schema"] for e in entries] == [2, 3, 4, 5, 6]
-    assert new["seq"] == 5  # seq continues across the schema bump
+    assert [e["schema"] for e in entries] == [2, 3, 4, 5, 6, 7]
+    assert new["seq"] == 6  # seq continues across the schema bump
     assert render_diff(entries[0], entries[1])  # mixed-kind diff renders
-    assert render_diff(entries[3], entries[4])  # schema 5 vs 6 diff renders
+    assert render_diff(entries[4], entries[5])  # schema 6 vs 7 diff renders
     assert ledger.entries(kind="design_run") == [entries[0]]
     assert ledger.entries(kind="fault_run") == entries[1:]
     assert ledger.resolve(1)["schema"] == 2
-    assert ledger.resolve("latest")["schema"] == 6
+    assert ledger.resolve("latest")["schema"] == 7
 
 
 # ------------------------------------------------- schema 4 / campaigns
@@ -337,7 +342,7 @@ def test_campaign_entry_builds_schema4_manifest(tmp_path):
     assert entry["note"] == "nightly"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 6
+    assert appended["schema"] == LEDGER_SCHEMA == 7
     (back,) = ledger.entries(kind="campaign")
     assert back["cells"] == entry["cells"]
 
@@ -430,7 +435,7 @@ def test_explain_entry_builds_schema5_manifest(tmp_path):
     assert entry["note"] == "ci"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 6
+    assert appended["schema"] == LEDGER_SCHEMA == 7
     (back,) = ledger.entries(kind="explain")
     assert back["explain"] == entry["explain"]
 
@@ -525,7 +530,7 @@ def test_tune_entry_builds_schema6_manifest(tmp_path):
     assert entry["note"] == "ci"
     ledger = RunLedger(tmp_path / "l.jsonl")
     appended = ledger.append(entry)
-    assert appended["schema"] == LEDGER_SCHEMA == 6
+    assert appended["schema"] == LEDGER_SCHEMA == 7
     (back,) = ledger.entries(kind="tune")
     assert back["front"] == entry["front"]
 
@@ -557,7 +562,76 @@ def test_old_reader_rejects_schema6_tune_lines(tmp_path, monkeypatch):
     from repro.obs import tune_entry
 
     path = tmp_path / "l.jsonl"
-    RunLedger(path).append(tune_entry(_tune_manifest(), git_sha="x"))
+    entry = dict(tune_entry(_tune_manifest(), git_sha="x"), schema=6, seq=1,
+                 ts="2026-01-01T00:00:00Z")
+    path.write_text(json.dumps(entry, sort_keys=True) + "\n", encoding="utf-8")
     monkeypatch.setattr(ledger_mod, "LEDGER_SCHEMA", 5)
+    with pytest.raises(LedgerError, match="unsupported ledger schema"):
+        RunLedger(path).entries()
+
+
+# -------------------------------------------------- schema 7 / service
+
+
+def _service_record(outcome="computed"):
+    """A minimal server-built service job record."""
+    return {
+        "job": "j-000001",
+        "job_kind": "design",
+        "outcome": outcome,
+        "key": "ab" * 32,
+        "priority": "default",
+        "client": "cli",
+        "queue_wait_s": 0.002,
+        "run_s": 0.41,
+        "attempts": 1,
+        "dedup_count": 2,
+        "result_hash": "cd" * 32,
+        "error": None,
+    }
+
+
+def test_service_entry_builds_schema7_manifest(tmp_path):
+    from repro.obs import service_entry
+
+    entry = service_entry(_service_record(), git_sha="abc", note="ci")
+    assert entry["kind"] == "service"
+    assert entry["app"] == "service"
+    assert entry["job"] == "j-000001"
+    assert entry["job_kind"] == "design"
+    assert entry["outcome"] == "computed"
+    assert entry["dedup_count"] == 2
+    assert entry["result_hash"] == "cd" * 32
+    assert "error" not in entry  # None error stays off the manifest
+    assert entry["note"] == "ci"
+    ledger = RunLedger(tmp_path / "l.jsonl")
+    appended = ledger.append(entry)
+    assert appended["schema"] == LEDGER_SCHEMA == 7
+    (back,) = ledger.entries(kind="service")
+    assert back["queue_wait_s"] == 0.002
+
+
+def test_service_entry_validates_record():
+    from repro.obs import service_entry
+
+    with pytest.raises(LedgerError, match="missing 'job'"):
+        service_entry({"job_kind": "design", "outcome": "computed"})
+    with pytest.raises(LedgerError, match="missing 'outcome'"):
+        service_entry({"job": "j-1", "job_kind": "design"})
+    with pytest.raises(LedgerError, match="outcome must be"):
+        service_entry(_service_record(outcome="teleported"))
+    failed = dict(_service_record(outcome="failed"), error="boom")
+    assert service_entry(failed)["error"] == "boom"
+
+
+def test_old_reader_rejects_schema7_service_lines(tmp_path, monkeypatch):
+    """A schema-6 reader must refuse schema-7 lines loudly, not misread
+    them."""
+    import repro.obs.ledger as ledger_mod
+    from repro.obs import service_entry
+
+    path = tmp_path / "l.jsonl"
+    RunLedger(path).append(service_entry(_service_record(), git_sha="x"))
+    monkeypatch.setattr(ledger_mod, "LEDGER_SCHEMA", 6)
     with pytest.raises(LedgerError, match="unsupported ledger schema"):
         RunLedger(path).entries()

@@ -1,0 +1,271 @@
+"""Queue, rate-limit, manifest and retry semantics of repro.service."""
+
+import pytest
+
+from repro.service import (
+    CodesignServer,
+    Job,
+    JobError,
+    JobQueue,
+    RateLimiter,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    TokenBucket,
+    job_key,
+    normalize_request,
+    register_runner,
+    unregister_runner,
+)
+
+
+def _job(jid, priority="default"):
+    manifest = {"kind": "design", "params": {"app": "lu", "n": 1, "b": 1, "p": 6}}
+    return Job(id=jid, manifest=manifest, key=jid, priority=priority)
+
+
+# ---------------------------------------------------------------- JobQueue
+
+
+def test_queue_pops_priority_classes_in_order():
+    q = JobQueue()
+    q.push(_job("b1", "batch"))
+    q.push(_job("d1", "default"))
+    q.push(_job("i1", "interactive"))
+    q.push(_job("d2", "default"))
+    assert [q.pop().id for _ in range(4)] == ["i1", "d1", "d2", "b1"]
+    assert q.pop() is None
+
+
+def test_queue_fifo_within_class_and_counts():
+    q = JobQueue()
+    for jid in ("a", "b", "c"):
+        q.push(_job(jid, "batch"))
+    assert len(q) == 3
+    assert q.counts() == {"interactive": 0, "default": 0, "batch": 3}
+    assert [j.id for j in q.jobs()] == ["a", "b", "c"]
+    assert [q.pop().id for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_queue_rejects_unknown_priority():
+    q = JobQueue()
+    with pytest.raises(JobError, match="unknown priority"):
+        q.push(_job("x", "vip"))
+
+
+# ------------------------------------------------------------- TokenBucket
+
+
+def test_token_bucket_burst_then_refill():
+    clock = [0.0]
+    bucket = TokenBucket(2, 1.0, clock=lambda: clock[0])
+    assert bucket.take() == (True, 0.0)
+    assert bucket.take() == (True, 0.0)
+    ok, retry_after = bucket.take()
+    assert not ok and retry_after == pytest.approx(1.0)
+    clock[0] = 0.5  # half a token back: still denied, shorter wait
+    ok, retry_after = bucket.take()
+    assert not ok and retry_after == pytest.approx(0.5)
+    clock[0] = 1.0  # a whole token exists again
+    assert bucket.take() == (True, 0.0)
+
+
+def test_token_bucket_caps_at_capacity():
+    clock = [0.0]
+    bucket = TokenBucket(2, 10.0, clock=lambda: clock[0])
+    clock[0] = 100.0  # a long idle period must not bank >capacity tokens
+    assert bucket.take()[0] and bucket.take()[0]
+    assert not bucket.take()[0]
+
+
+def test_token_bucket_validates_parameters():
+    with pytest.raises(ValueError, match="capacity"):
+        TokenBucket(0, 1.0)
+    with pytest.raises(ValueError, match="refill"):
+        TokenBucket(1, 0.0)
+
+
+def test_rate_limiter_is_per_client_and_optional():
+    clock = [0.0]
+    limiter = RateLimiter(1, 1.0, clock=lambda: clock[0])
+    assert limiter.allow("alice") == (True, 0.0)
+    assert not limiter.allow("alice")[0]
+    assert limiter.allow("bob") == (True, 0.0)  # separate bucket
+    assert limiter.snapshot()["clients"] == 2
+    unlimited = RateLimiter(None)
+    assert not unlimited.enabled
+    for _ in range(100):
+        assert unlimited.allow("anyone") == (True, 0.0)
+
+
+# -------------------------------------------------------------- manifests
+
+
+def test_normalize_request_fills_defaults_for_identical_keys():
+    sparse = normalize_request("design", {"app": "lu"})
+    explicit = normalize_request("design", {"app": "lu", "n": 30000,
+                                            "b": 3000, "p": 6})
+    assert sparse == explicit
+    assert job_key(sparse) == job_key(explicit)
+    different = normalize_request("design", {"app": "lu", "n": 6000, "b": 1200})
+    assert job_key(different) != job_key(sparse)
+
+
+def test_normalize_request_sweep_is_order_insensitive():
+    a = normalize_request("sweep", {"experiments": ["fig7", "fig5"]})
+    b = normalize_request("sweep", {"experiments": ["fig5", "fig7", "fig5"]})
+    c = normalize_request("sweep", {"experiments": "fig5,fig7"})
+    assert a == b == c
+    assert a["params"]["experiments"] == ["fig5", "fig7"]
+
+
+def test_normalize_request_rejects_bad_input():
+    with pytest.raises(JobError, match="unknown job kind"):
+        normalize_request("teleport", {})
+    with pytest.raises(JobError, match="unknown parameter"):
+        normalize_request("design", {"app": "lu", "sparkle": 1})
+    with pytest.raises(JobError, match="unknown design app"):
+        normalize_request("design", {"app": "qr"})
+    with pytest.raises(JobError, match="positive int"):
+        normalize_request("design", {"app": "lu", "n": -5})
+    with pytest.raises(JobError, match="unknown experiment ids"):
+        normalize_request("sweep", {"experiments": ["fig99"]})
+    with pytest.raises(JobError, match="must be an object"):
+        normalize_request("design", [1, 2])
+    with pytest.raises(JobError, match="must name a predefined space"):
+        normalize_request("tune", {"space": "nope"})
+
+
+# ------------------------------------------------- server-level semantics
+#
+# These use throwaway registered kinds so queue/retry behaviour is
+# exercised without paying for a real simulation.
+
+
+@pytest.fixture
+def flaky_kind():
+    """A registered kind whose runner fails N times before succeeding."""
+    state = {"failures_left": 0, "calls": 0}
+
+    def runner(params, ctx):
+        state["calls"] += 1
+        if state["failures_left"] > 0:
+            state["failures_left"] -= 1
+            raise RuntimeError("transient worker crash")
+        return {"ok": True, "calls": state["calls"]}
+
+    register_runner("flaky", runner, normalizer=lambda p: dict(p))
+    yield state
+    unregister_runner("flaky")
+
+
+def _server(**kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("retry_backoff_s", 0.0)
+    return CodesignServer(**kwargs)
+
+
+def test_retry_recovers_from_transient_crashes(flaky_kind):
+    flaky_kind["failures_left"] = 1
+    with ServerThread(_server(max_retries=2)) as st:
+        client = ServiceClient(port=st.bound_port)
+        doc = client.submit("flaky", {"case": "recovers"})
+        done = client.wait(doc["id"], timeout=30)
+    assert done["state"] == "completed"
+    assert done["attempts"] == 2  # first crash + successful retry
+    assert done["result"]["ok"] is True
+
+
+def test_retry_gives_up_after_max_retries(flaky_kind):
+    flaky_kind["failures_left"] = 10**9  # always crash
+    with ServerThread(_server(max_retries=2)) as st:
+        client = ServiceClient(port=st.bound_port)
+        doc = client.submit("flaky", {"case": "hopeless"})
+        done = client.wait(doc["id"], timeout=30)
+        queue = client.queue()
+    assert done["state"] == "failed"
+    assert "transient worker crash" in done["error"]
+    assert done["attempts"] == 3  # initial + 2 retries, then give up
+    assert queue["counters"]["retried"] == 2
+    assert queue["counters"]["failed"] == 1
+    assert flaky_kind["calls"] == 3
+
+
+def test_duplicate_submit_returns_original_job_id(flaky_kind):
+    with ServerThread(_server()) as st:
+        client = ServiceClient(port=st.bound_port)
+        st.pause()  # hold the worker so the first job stays in flight
+        first = client.submit("flaky", {"case": "dup"})
+        second = client.submit("flaky", {"case": "dup"})
+        other = client.submit("flaky", {"case": "not-a-dup"})
+        st.resume()
+        done = client.wait(first["id"], timeout=30)
+        queue = client.queue()
+    assert first["state"] == "queued" and not first["deduped"]
+    assert second["id"] == first["id"] and second["deduped"]
+    assert other["id"] != first["id"] and not other["deduped"]
+    assert done["dedup_count"] == 1
+    assert queue["counters"]["deduped"] == 1
+    assert queue["counters"]["submitted"] == 3
+    assert flaky_kind["calls"] == 2  # dup collapsed: 2 executions for 3 submits
+
+
+def test_rate_limit_returns_429_with_retry_after(flaky_kind):
+    with ServerThread(_server(rate_capacity=2, rate_refill_per_s=0.1)) as st:
+        client = ServiceClient(port=st.bound_port, client_id="greedy")
+        client.submit("flaky", {"i": 1})
+        client.submit("flaky", {"i": 2})
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit("flaky", {"i": 3})
+        # A different client has its own bucket and is still admitted.
+        other = ServiceClient(port=st.bound_port, client_id="patient")
+        ok = other.submit("flaky", {"i": 4})
+    err = exc_info.value
+    assert err.status == 429
+    assert err.retry_after is not None and err.retry_after > 0
+    assert ok["id"]
+
+
+def test_bad_requests_are_400_not_500(flaky_kind):
+    with ServerThread(_server()) as st:
+        client = ServiceClient(port=st.bound_port)
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit("no-such-kind", {})
+        assert exc_info.value.status == 400
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit("design", {"app": "lu", "bogus": 1})
+        assert exc_info.value.status == 400
+        with pytest.raises(ServiceError) as exc_info:
+            client.status("j-999999")
+        assert exc_info.value.status == 404
+        health = client.healthz()
+    assert health["status"] == "ok"
+
+
+def test_priority_classes_drain_in_order(flaky_kind):
+    """With the worker paused, queued jobs drain interactive -> default
+    -> batch regardless of submission order."""
+    order = []
+
+    def runner(params, ctx):
+        order.append(params["tag"])
+        return {"tag": params["tag"]}
+
+    register_runner("ordered", runner, normalizer=lambda p: dict(p))
+    try:
+        with ServerThread(_server()) as st:
+            client = ServiceClient(port=st.bound_port)
+            st.pause()
+            batch = client.submit("ordered", {"tag": "batch"}, priority="batch")
+            default = client.submit("ordered", {"tag": "default"})
+            inter = client.submit("ordered", {"tag": "interactive"},
+                                  priority="interactive")
+            assert client.queue()["by_priority"] == {
+                "interactive": 1, "default": 1, "batch": 1,
+            }
+            st.resume()
+            for doc in (batch, default, inter):
+                client.wait(doc["id"], timeout=30)
+    finally:
+        unregister_runner("ordered")
+    assert order == ["interactive", "default", "batch"]
